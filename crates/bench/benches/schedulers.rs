@@ -1,0 +1,49 @@
+//! Criterion benchmarks of one planning invocation per scheduler: how much
+//! scheduler-host time each policy really costs at batch size 200 over 50
+//! processors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_bench::figures::batch_tasks;
+use dts_bench::{BuildOptions, ALL_SCHEDULERS};
+use dts_model::sched::{ProcessorView, SystemView};
+use dts_model::{ProcessorId, SimTime, SizeDistribution};
+
+fn view(m: usize) -> SystemView {
+    SystemView {
+        now: SimTime::ZERO,
+        processors: (0..m)
+            .map(|i| ProcessorView {
+                id: ProcessorId(i as u16),
+                rate_estimate: 15.0 + (i as f64 * 7.3) % 25.0,
+                inflight_mflops: 0.0,
+                comm_estimate: 3.0,
+            })
+            .collect(),
+        seconds_until_first_idle: Some(600.0),
+    }
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let tasks = batch_tasks(200, &sizes, 7);
+    let v = view(50);
+
+    let mut group = c.benchmark_group("plan_batch200_procs50");
+    group.sample_size(10);
+    for kind in ALL_SCHEDULERS {
+        // Cap the GA budget so one criterion sample stays sub-second.
+        let mut opts = BuildOptions::default();
+        opts.max_generations = 100;
+        group.bench_function(kind.label(), |bench| {
+            bench.iter(|| {
+                let mut sched = kind.build_with(50, 11, &opts);
+                sched.enqueue(&tasks);
+                std::hint::black_box(sched.plan(&v))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

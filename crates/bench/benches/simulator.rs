@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the discrete-event simulator: end-to-end runs
+//! and raw event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dts_model::{ClusterSpec, SizeDistribution, WorkloadSpec};
+use dts_schedulers::EarliestFinish;
+use dts_sim::{SimConfig, Simulation};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_EF");
+    group.sample_size(10);
+    for (tasks, procs) in [(200usize, 10usize), (1000, 50)] {
+        let cluster_spec = ClusterSpec::paper_defaults(procs, 5.0);
+        let workload = WorkloadSpec::batch(
+            tasks,
+            SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+        );
+        group.bench_function(format!("{tasks}tasks_{procs}procs"), |bench| {
+            bench.iter(|| {
+                let cluster = cluster_spec.build(3);
+                let task_set = workload.generate(3);
+                let sched = Box::new(EarliestFinish::new(procs));
+                Simulation::new(cluster, task_set, sched, SimConfig::default())
+                    .run()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

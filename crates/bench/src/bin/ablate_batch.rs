@@ -1,0 +1,52 @@
+//! Ablation A6 — batch size: fixed batches of 50–400 versus the §3.7
+//! dynamic rule, measured on the full simulator (makespan + efficiency).
+
+use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 8);
+    let comm: f64 = env_or("DTS_COMM", 20.0);
+    let mut table = Table::new(
+        format!("A6 batch size, fixed vs dynamic (PN, comm mean {comm}s, {reps} reps)"),
+        &["batch", "efficiency", "makespan"],
+    );
+
+    let base = |reps| {
+        let mut s = Scenario::paper_base(
+            SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+            1000,
+            reps,
+        );
+        s.cluster.processors = env_or("DTS_PROCS", 20);
+        s.with_comm_cost(comm)
+    };
+
+    for batch in [50usize, 100, 200, 400] {
+        let mut s = base(reps);
+        s.build.batch_size = batch;
+        s.build.pn.max_batch = batch; // fixed size
+        let res = s.run(SchedulerKind::Pn);
+        assert_eq!(res.failures, 0);
+        table.row(vec![
+            format!("fixed {batch}"),
+            format!("{:.4}", res.efficiency.mean()),
+            format!("{:.1}", res.makespan.mean()),
+        ]);
+        eprintln!("  batch={batch} done");
+    }
+    // Dynamic: §3.7 rule with a generous cap.
+    let mut s = base(reps);
+    s.build.batch_size = 200;
+    s.build.pn.max_batch = 1000;
+    let res = s.run(SchedulerKind::Pn);
+    table.row(vec![
+        "dynamic (§3.7)".to_string(),
+        format!("{:.4}", res.efficiency.mean()),
+        format!("{:.1}", res.makespan.mean()),
+    ]);
+
+    println!("{}", table.render());
+    let path = write_csv(&table, "ablate_batch").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

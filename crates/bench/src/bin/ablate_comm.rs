@@ -1,0 +1,42 @@
+//! Ablation A7 — the paper's core mechanism: communication-cost
+//! *prediction* in the fitness function. Running PN with the Γc term
+//! disabled isolates how much of its advantage comes from prediction
+//! versus the GA machinery itself.
+
+use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 8);
+    let mut table = Table::new(
+        format!("A7 comm prediction on/off (PN, {reps} reps)"),
+        &["mean_comm_cost", "eff_with_comm", "eff_without", "advantage_%"],
+    );
+    for comm in [10.0, 25.0, 50.0, 100.0] {
+        let base = |use_comm: bool| {
+            let mut s = Scenario::paper_base(
+                SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+                500,
+                reps,
+            );
+            s.cluster.processors = env_or("DTS_PROCS", 20);
+            s.build.pn.use_comm_estimates = use_comm;
+            s.with_comm_cost(comm).run(SchedulerKind::Pn)
+        };
+        let with = base(true);
+        let without = base(false);
+        assert_eq!(with.failures + without.failures, 0);
+        let e1 = with.efficiency.mean();
+        let e0 = without.efficiency.mean();
+        table.row(vec![
+            format!("{comm:.0}"),
+            format!("{e1:.4}"),
+            format!("{e0:.4}"),
+            format!("{:+.1}", (e1 / e0 - 1.0) * 100.0),
+        ]);
+        eprintln!("  comm={comm} done");
+    }
+    println!("{}", table.render());
+    let path = write_csv(&table, "ablate_comm").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

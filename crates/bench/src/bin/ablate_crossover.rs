@@ -1,0 +1,56 @@
+//! Ablation A2 — crossover operator: the paper uses cycle crossover
+//! (Oliver et al.) "to promote exploration"; order crossover and a
+//! one-point/repair variant are the natural alternatives on permutation
+//! encodings.
+
+use dts_bench::figures::{batch_processors, batch_tasks};
+use dts_bench::{env_or, write_csv, Table};
+use dts_core::batch_run::schedule_batch_with_ops;
+use dts_core::PnConfig;
+use dts_distributions::{OnlineStats, SeedSequence};
+use dts_ga::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, RouletteWheel, SwapMutation};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let h: usize = env_or("DTS_TASKS", 300);
+    let m: usize = env_or("DTS_PROCS", 20);
+    let reps: usize = env_or("DTS_REPS", 10);
+    let gens: u32 = env_or("DTS_GENS", 400);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+
+    let ops: Vec<(&str, Box<dyn CrossoverOp>)> = vec![
+        ("cycle (paper)", Box::new(CycleCrossover)),
+        ("order", Box::new(OrderCrossover)),
+        ("one-point", Box::new(OnePointOrder)),
+    ];
+
+    let mut table = Table::new(
+        format!("A2 crossover operators (H={h}, M={m}, {gens} gens, {reps} reps)"),
+        &["crossover", "makespan_mean", "makespan_ci95"],
+    );
+    for (name, op) in &ops {
+        let seq = SeedSequence::new(seed);
+        let mut stats = OnlineStats::new();
+        for rep in 0..reps {
+            let mut sub = SeedSequence::new(seq.seed_at(rep as u64));
+            let tasks = batch_tasks(h, &sizes, sub.next_seed());
+            let procs = batch_processors(m, sub.next_seed());
+            let mut cfg = PnConfig::default();
+            cfg.ga.max_generations = gens;
+            let out = schedule_batch_with_ops(
+                &tasks, &procs, &cfg, &RouletteWheel, op.as_ref(), &SwapMutation,
+                None, sub.next_seed(),
+            );
+            stats.push(out.best_makespan);
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", stats.mean()),
+            format!("{:.2}", stats.ci95_half_width()),
+        ]);
+    }
+    println!("{}", table.render());
+    let path = write_csv(&table, "ablate_crossover").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,37 @@
+//! Ablation A4 — the smoothing factor ν (§3.6) used for per-link
+//! communication estimates: ν = 0 never updates the first observation,
+//! ν = 1 chases the last message. Where is the sweet spot for PN's
+//! efficiency under costly, jittery communication?
+
+use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 8);
+    let comm: f64 = env_or("DTS_COMM", 40.0);
+    let mut table = Table::new(
+        format!("A4 comm smoothing factor nu (PN, comm mean {comm}s, {reps} reps)"),
+        &["nu", "efficiency", "makespan"],
+    );
+    for nu in [0.05, 0.1, 0.3, 0.6, 1.0] {
+        let mut s = Scenario::paper_base(
+            SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+            500,
+            reps,
+        );
+        s.cluster.processors = env_or("DTS_PROCS", 20);
+        s.sim.comm_nu = nu;
+        let s = s.with_comm_cost(comm);
+        let res = s.run(SchedulerKind::Pn);
+        assert_eq!(res.failures, 0);
+        table.row(vec![
+            format!("{nu:.2}"),
+            format!("{:.4}", res.efficiency.mean()),
+            format!("{:.1}", res.makespan.mean()),
+        ]);
+        eprintln!("  nu={nu} done");
+    }
+    println!("{}", table.render());
+    let path = write_csv(&table, "ablate_smoothing").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

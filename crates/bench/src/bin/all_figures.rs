@@ -1,0 +1,23 @@
+//! Runs every figure regeneration in sequence (fig3–fig11). Respects the
+//! same environment knobs as the individual binaries. Expect this to take
+//! tens of minutes at default scale.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "ablate_selection", "ablate_crossover", "ablate_init", "ablate_smoothing",
+        "ablate_popsize", "ablate_batch", "ablate_comm",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        eprintln!("==== {bin} ====");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    eprintln!("all figures + ablations regenerated; CSVs in results/");
+}

@@ -1,0 +1,75 @@
+//! Extension experiment — the full Maheswaran et al. family: the paper's
+//! seven schedulers plus OLB, KPB (k = 0.2) and Sufferage from its
+//! reference [11], on the Fig. 5 workload at a moderate communication
+//! cost.
+
+use dts_bench::{env_or, write_csv, Scenario, SchedulerKind, Table, ALL_SCHEDULERS};
+use dts_model::{Scheduler, SizeDistribution};
+use dts_schedulers::{KPercentBest, Olb, Sufferage};
+use dts_sim::run_replicated;
+
+fn main() {
+    let comm: f64 = env_or("DTS_COMM", 20.0);
+    let reps: usize = env_or("DTS_REPS", 8);
+    let scenario = Scenario::paper_base(
+        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+        1000,
+        reps,
+    )
+    .with_comm_cost(comm);
+
+    let mut table = Table::new(
+        format!(
+            "Extension — paper roster + OLB/KPB/Sufferage (comm mean {comm}s, {} tasks, {} procs, {} reps)",
+            scenario.workload.count, scenario.cluster.processors, scenario.reps
+        ),
+        &["scheduler", "makespan_mean", "efficiency"],
+    );
+
+    for kind in ALL_SCHEDULERS {
+        let res = scenario.run(kind);
+        assert_eq!(res.failures, 0);
+        table.row(vec![
+            kind.label().to_string(),
+            format!("{:.1}", res.makespan.mean()),
+            format!("{:.4}", res.efficiency.mean()),
+        ]);
+        eprintln!("  {} done", kind.label());
+    }
+
+    // The three extensions, through the same replication machinery.
+    let extras: Vec<(&str, Box<dyn Fn(usize) -> Box<dyn Scheduler> + Sync>)> = vec![
+        ("OLB", Box::new(|n| Box::new(Olb::new(n)))),
+        ("KPB", Box::new(|n| Box::new(KPercentBest::new(n, 0.2)))),
+        ("SUF", Box::new(|n| Box::new(Sufferage::with_batch_size(n, 200)))),
+    ];
+    for (label, factory) in &extras {
+        let f = |n: usize, _seed: u64| factory(n);
+        let reports = run_replicated(
+            &scenario.cluster,
+            &scenario.workload,
+            &f,
+            &scenario.sim,
+            scenario.seed,
+            scenario.reps,
+            scenario.threads,
+        );
+        let mut makespan = dts_distributions::OnlineStats::new();
+        let mut efficiency = dts_distributions::OnlineStats::new();
+        for r in reports {
+            let r = r.expect("simulation completes");
+            makespan.push(r.makespan);
+            efficiency.push(r.efficiency);
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", makespan.mean()),
+            format!("{:.4}", efficiency.mean()),
+        ]);
+        eprintln!("  {label} done");
+    }
+
+    println!("{}", table.render());
+    let path = write_csv(&table, "extra_baselines").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,17 @@
+//! Fig. 11 — makespan with Poisson(100) task sizes.
+//!
+//! Paper result: the batch schedulers (PN, ZO, MM, MX) all perform well;
+//! the immediate-mode schedulers fall behind.
+
+use dts_bench::figures::makespan_bars;
+use dts_bench::{env_or, write_csv};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let comm: f64 = env_or("DTS_COMM", 2.0);
+    let sizes = SizeDistribution::Poisson { lambda: 100.0 };
+    let table = makespan_bars("Fig. 11", sizes, comm, 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig11").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

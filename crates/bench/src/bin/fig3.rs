@@ -1,0 +1,39 @@
+//! Fig. 3 — average reduction in makespan after each generation of the GA,
+//! for 0 (pure GA), 1, and 50 rebalances per individual per generation.
+//!
+//! Paper result: after 1000 generations the best makespan falls to ~75 %
+//! (pure GA), ~70 % (1 rebalance) and ~65 % (50 rebalances) of its initial
+//! value, with the steepest drop in the first 100 generations.
+
+use dts_bench::figures::convergence_series;
+use dts_bench::{env_or, write_csv};
+
+fn main() {
+    let h: usize = env_or("DTS_TASKS", 500);
+    let m: usize = env_or("DTS_PROCS", 50);
+    let reps: usize = env_or("DTS_REPS", 10);
+    let gens: u32 = env_or("DTS_GENS", 1000);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+
+    eprintln!("fig3: H={h} tasks, M={m} procs, {gens} generations, {reps} runs per setting");
+    let (table, series) = convergence_series(h, m, gens, reps, &[0, 1, 50], seed);
+    println!("{}", table.render());
+
+    let finals: Vec<f64> = series.iter().map(|s| *s.last().unwrap()).collect();
+    println!(
+        "final makespan ratios: pure GA {:.3}, 1 rebalance {:.3}, 50 rebalances {:.3}",
+        finals[0], finals[1], finals[2]
+    );
+    // The reproduction target is the paper's *shape*: rebalancing clearly
+    // beats the pure GA, and 50 rebalances land at or below 1 rebalance
+    // within noise (the paper's own gap between them is only ~0.05).
+    let rebalance_wins = finals[1] < finals[0] - 0.02 && finals[2] < finals[0] - 0.02;
+    let heavy_close_to_light = finals[2] <= finals[1] + 0.02;
+    println!(
+        "paper: ~0.75 / ~0.70 / ~0.65 — rebalancing beats pure GA: {}; R50 ≤ R1 (within 0.02): {}",
+        if rebalance_wins { "HOLDS" } else { "VIOLATED" },
+        if heavy_close_to_light { "HOLDS" } else { "VIOLATED" }
+    );
+    let path = write_csv(&table, "fig3").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

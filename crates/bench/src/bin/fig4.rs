@@ -1,0 +1,35 @@
+//! Fig. 4 — wall-clock time to schedule a task set with varying numbers of
+//! rebalances per generation.
+//!
+//! Paper result: time grows **linearly** in the number of rebalances
+//! (≈ 10 s at R = 0 up to ≈ 250 s at R = 20 on 2005 hardware for 10 000
+//! tasks). This binary measures our GA's real wall time and fits a line;
+//! the slope and R² are the reproduction targets, not the 2005 absolute
+//! numbers. Set DTS_FULL=1 for the paper-scale 10 000-task / 1000-gen run.
+
+use dts_bench::figures::{linear_fit, rebalance_timing};
+use dts_bench::{env_flag, env_or, write_csv};
+
+fn main() {
+    let full = env_flag("DTS_FULL");
+    let n_tasks: usize = env_or("DTS_TASKS", if full { 10_000 } else { 2_000 });
+    let gens: u32 = env_or("DTS_GENS", if full { 1000 } else { 200 });
+    let m: usize = env_or("DTS_PROCS", 50);
+    let batch: usize = env_or("DTS_BATCH", 200);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let rebalances: Vec<u32> = (0..=20).step_by(2).collect();
+
+    eprintln!("fig4: {n_tasks} tasks, batches of {batch}, {gens} gens/batch, M={m}");
+    let (table, points) = rebalance_timing(n_tasks, batch, m, gens, &rebalances, seed);
+    println!("{}", table.render());
+
+    let (a, b, r2) = linear_fit(&points);
+    println!("linear fit: time = {a:.3} + {b:.3}·R   (R² = {r2:.4})");
+    println!(
+        "paper: linear growth — linearity {} (wall-clock noise on shared hosts\n\
+         lowers R²; rerun with DTS_FULL=1 for the paper-scale measurement)",
+        if r2 > 0.95 { "HOLDS" } else { "WEAK" }
+    );
+    let path = write_csv(&table, "fig4").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,22 @@
+//! Fig. 5 — efficiency of the seven schedulers with normally distributed
+//! task sizes (μ = 1000 MFLOPs, σ² = 9·10⁵) and varying communication
+//! costs.
+//!
+//! Paper result: PN gives the best efficiency at every communication cost;
+//! RR is worst; efficiency rises as communication gets cheaper (right edge
+//! of the axis).
+
+use dts_bench::figures::{efficiency_sweep, paper_inv_cost_axis};
+use dts_bench::write_csv;
+use dts_model::SizeDistribution;
+
+fn main() {
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
+    let table = efficiency_sweep("Fig. 5", sizes, &paper_inv_cost_axis(), 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig5").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

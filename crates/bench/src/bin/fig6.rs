@@ -1,0 +1,20 @@
+//! Fig. 6 — makespan of the seven schedulers with normally distributed
+//! task sizes (μ = 1000 MFLOPs, σ² = 9·10⁵) and PN's dynamic batch sizing.
+//!
+//! Paper result: PN achieves the lowest makespan of all seven schedulers.
+
+use dts_bench::figures::makespan_bars;
+use dts_bench::{env_or, write_csv};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let comm: f64 = env_or("DTS_COMM", 20.0);
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
+    let table = makespan_bars("Fig. 6", sizes, comm, 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig6").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

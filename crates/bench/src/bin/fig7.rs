@@ -1,0 +1,17 @@
+//! Fig. 7 — efficiency of the seven schedulers with task sizes uniformly
+//! distributed in [10, 1000) MFLOPs and varying communication costs.
+//!
+//! Paper result: the two meta-heuristic schedulers (PN and ZO) clearly
+//! beat the simple heuristics, with PN on top.
+
+use dts_bench::figures::{efficiency_sweep, paper_inv_cost_axis};
+use dts_bench::write_csv;
+use dts_model::SizeDistribution;
+
+fn main() {
+    let sizes = SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 };
+    let table = efficiency_sweep("Fig. 7", sizes, &paper_inv_cost_axis(), 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig7").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Fig. 8 — makespan with task sizes uniform in [10, 100) MFLOPs (1:10
+//! ratio).
+//!
+//! Paper result: with nearly equal tasks most schedulers perform
+//! similarly; the bars are close together.
+
+use dts_bench::figures::makespan_bars;
+use dts_bench::{env_or, write_csv};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let comm: f64 = env_or("DTS_COMM", 20.0);
+    let sizes = SizeDistribution::Uniform { lo: 10.0, hi: 100.0 };
+    let table = makespan_bars("Fig. 8", sizes, comm, 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig8").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,18 @@
+//! Fig. 9 — makespan with task sizes uniform in [10, 10000) MFLOPs
+//! (1:1000 ratio).
+//!
+//! Paper result: with a wide size range the differences between schedulers
+//! are accentuated, and PN is lowest.
+
+use dts_bench::figures::makespan_bars;
+use dts_bench::{env_or, write_csv};
+use dts_model::SizeDistribution;
+
+fn main() {
+    let comm: f64 = env_or("DTS_COMM", 20.0);
+    let sizes = SizeDistribution::Uniform { lo: 10.0, hi: 10_000.0 };
+    let table = makespan_bars("Fig. 9", sizes, comm, 1000, 10);
+    println!("{}", table.render());
+    let path = write_csv(&table, "fig9").expect("write CSV");
+    eprintln!("wrote {}", path.display());
+}

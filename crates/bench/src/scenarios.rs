@@ -1,0 +1,202 @@
+//! Shared experiment scenarios: the paper's cluster and workload
+//! parameterisations, plus environment-variable scaling.
+
+use dts_distributions::{OnlineStats, SeedSequence};
+use dts_model::{
+    AvailabilityModel, ClusterSpec, CommCostSpec, SizeDistribution, WorkloadSpec,
+};
+use dts_sim::{run_replicated, SimConfig, SimReport};
+
+use crate::roster::{BuildOptions, SchedulerKind};
+
+/// Reads an integer/float environment knob with a default.
+pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when the environment flag is set to a non-empty, non-"0" value.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// A fully specified experiment scenario: cluster + workload + replication.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Cluster description.
+    pub cluster: ClusterSpec,
+    /// Workload description.
+    pub workload: WorkloadSpec,
+    /// Simulator knobs.
+    pub sim: SimConfig,
+    /// Replications per measured point.
+    pub reps: usize,
+    /// Worker threads for replication.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Batch/GA options applied to every scheduler.
+    pub build: BuildOptions,
+}
+
+impl Scenario {
+    /// The paper's base setup (§4.2): `DTS_PROCS` heterogeneous dedicated
+    /// processors (default 50), ratings uniform in [15, 40) Mflop/s, batch
+    /// size 200, `DTS_TASKS` tasks, `DTS_REPS` replications.
+    ///
+    /// The rating band is chosen so that the mean task of the Fig. 5
+    /// workload (1000 MFLOPs) computes for ~35 s — comparable to the
+    /// round-trip communication cost at the sweep's right edge, which is
+    /// the regime the paper's efficiency plots cover (see EXPERIMENTS.md).
+    pub fn paper_base(sizes: SizeDistribution, default_tasks: usize, default_reps: usize) -> Self {
+        let procs: usize = env_or("DTS_PROCS", 50);
+        let tasks: usize = env_or("DTS_TASKS", default_tasks);
+        let reps: usize = env_or("DTS_REPS", default_reps);
+        let threads: usize = env_or(
+            "DTS_THREADS",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        );
+        let seed: u64 = env_or("DTS_SEED", 20_050_404);
+        Self {
+            cluster: ClusterSpec {
+                processors: procs,
+                rating: SizeDistribution::Uniform { lo: 15.0, hi: 40.0 },
+                availability: AvailabilityModel::Dedicated,
+                comm: CommCostSpec::with_mean(0.0),
+            },
+            workload: WorkloadSpec::batch(tasks, sizes),
+            sim: SimConfig::default(),
+            reps,
+            threads,
+            seed,
+            build: BuildOptions::default(),
+        }
+    }
+
+    /// Sets the global mean communication cost.
+    pub fn with_comm_cost(mut self, mean: f64) -> Self {
+        self.cluster.comm = CommCostSpec::with_mean(mean);
+        self
+    }
+
+    /// Runs one scheduler across all replications and aggregates.
+    pub fn run(&self, kind: SchedulerKind) -> ScenarioResult {
+        let build = self.build.clone();
+        let factory = move |n: usize, seed: u64| kind.build_with(n, seed, &build);
+        let reports = run_replicated(
+            &self.cluster,
+            &self.workload,
+            &factory,
+            &self.sim,
+            // Fold the scheduler into the seed so every scheduler sees the
+            // same sequence of clusters/workloads (paper: "all schedulers
+            // were presented with the same set of tasks") while GA seeds
+            // still differ per replication.
+            self.seed,
+            self.reps,
+            self.threads,
+        );
+        ScenarioResult::aggregate(kind, reports)
+    }
+
+    /// Derives a per-point seed for sweeps so points are independent but
+    /// reproducible.
+    pub fn seed_for_point(&self, index: u64) -> u64 {
+        SeedSequence::new(self.seed ^ 0xF1C).seed_at(index)
+    }
+}
+
+/// Aggregated metrics for one scheduler on one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Which scheduler.
+    pub kind: SchedulerKind,
+    /// Makespan statistics over replications.
+    pub makespan: OnlineStats,
+    /// Efficiency statistics over replications.
+    pub efficiency: OnlineStats,
+    /// Failed replications (should be zero).
+    pub failures: usize,
+}
+
+impl ScenarioResult {
+    fn aggregate(
+        kind: SchedulerKind,
+        reports: Vec<Result<SimReport, dts_sim::SimError>>,
+    ) -> Self {
+        let mut makespan = OnlineStats::new();
+        let mut efficiency = OnlineStats::new();
+        let mut failures = 0;
+        for r in reports {
+            match r {
+                Ok(rep) => {
+                    makespan.push(rep.makespan);
+                    efficiency.push(rep.efficiency);
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        Self {
+            kind,
+            makespan,
+            efficiency,
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_or_parses_and_defaults() {
+        std::env::remove_var("DTS_TEST_KNOB");
+        assert_eq!(env_or::<usize>("DTS_TEST_KNOB", 7), 7);
+        std::env::set_var("DTS_TEST_KNOB", "13");
+        assert_eq!(env_or::<usize>("DTS_TEST_KNOB", 7), 13);
+        std::env::set_var("DTS_TEST_KNOB", "not-a-number");
+        assert_eq!(env_or::<usize>("DTS_TEST_KNOB", 7), 7);
+        std::env::remove_var("DTS_TEST_KNOB");
+    }
+
+    #[test]
+    fn scenario_runs_a_heuristic() {
+        let mut s = Scenario::paper_base(
+            SizeDistribution::Uniform { lo: 10.0, hi: 100.0 },
+            60,
+            3,
+        );
+        s.cluster.processors = 6;
+        s.reps = 3;
+        s.threads = 1;
+        let r = s.run(SchedulerKind::Ef);
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.makespan.count(), 3);
+        assert!(r.efficiency.mean() > 0.0);
+    }
+
+    #[test]
+    fn comm_cost_reduces_efficiency() {
+        let base = {
+            let mut s = Scenario::paper_base(
+                SizeDistribution::Uniform { lo: 100.0, hi: 500.0 },
+                60,
+                3,
+            );
+            s.cluster.processors = 6;
+            s.threads = 1;
+            s
+        };
+        let free = base.clone().run(SchedulerKind::Ef);
+        let costly = base.with_comm_cost(20.0).run(SchedulerKind::Ef);
+        assert!(
+            costly.efficiency.mean() < free.efficiency.mean(),
+            "{} !< {}",
+            costly.efficiency.mean(),
+            free.efficiency.mean()
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! One-shot GA scheduling of a single batch.
+//!
+//! This is the inner loop of the PN scheduler, exposed standalone because
+//! two of the paper's experiments exercise it directly:
+//!
+//! * **Fig. 3** runs the GA on one batch for 1000 generations recording the
+//!   best makespan per generation;
+//! * **Fig. 4** measures the wall-clock time of GA runs with 0–20
+//!   rebalances per generation.
+
+use dts_distributions::Prng;
+use dts_ga::{
+    Chromosome, CrossoverOp, CycleCrossover, GaEngine, GaResult, MutationOp, RouletteWheel,
+    SelectionOp, SwapMutation,
+};
+use dts_model::Task;
+
+use crate::config::PnConfig;
+use crate::fitness::{BatchProblem, ProcessorState};
+use crate::init::initial_population;
+
+/// Everything a one-batch GA run produces.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-processor queues of **batch slot indices** (positions in the
+    /// input task slice), in dispatch order.
+    pub queues: Vec<Vec<u32>>,
+    /// The winning chromosome.
+    pub best: Chromosome,
+    /// Estimated makespan of the winning schedule (seconds), including δⱼ
+    /// and communication estimates.
+    pub best_makespan: f64,
+    /// Fitness of the winner, in (0, 1].
+    pub best_fitness: f64,
+    /// Generations evolved.
+    pub generations: u32,
+    /// Full GA result (history is populated when
+    /// `config.ga.record_history` is set).
+    pub ga: GaResult,
+}
+
+/// Runs the PN genetic algorithm over one batch of tasks.
+///
+/// `procs[j]` describes processor `j`'s estimated rate, existing load
+/// (`Lⱼ`) and per-message communication estimate. `seed` makes the run
+/// reproducible. Generation count is capped by `config.ga.max_generations`
+/// and optionally `max_generations_override` (the §3.4 processor-idle
+/// budget).
+pub fn schedule_batch_capped(
+    batch: &[Task],
+    procs: &[ProcessorState],
+    config: &PnConfig,
+    max_generations_override: Option<u32>,
+    seed: u64,
+) -> BatchOutcome {
+    // The paper's operators: roulette selection, cycle crossover, swap
+    // mutation (§3.3).
+    schedule_batch_with_ops(
+        batch,
+        procs,
+        config,
+        &RouletteWheel,
+        &CycleCrossover,
+        &SwapMutation,
+        max_generations_override,
+        seed,
+    )
+}
+
+/// [`schedule_batch_capped`] with pluggable GA operators — the entry point
+/// of the `ablate_selection` and `ablate_crossover` studies.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_batch_with_ops(
+    batch: &[Task],
+    procs: &[ProcessorState],
+    config: &PnConfig,
+    selection: &dyn SelectionOp,
+    crossover: &dyn CrossoverOp,
+    mutation: &dyn MutationOp,
+    max_generations_override: Option<u32>,
+    seed: u64,
+) -> BatchOutcome {
+    assert!(!batch.is_empty(), "cannot schedule an empty batch");
+    config.validate().expect("invalid PnConfig");
+    let mut rng = Prng::seed_from(seed);
+
+    let problem = BatchProblem::new(batch, procs, config);
+    let initial = initial_population(
+        batch,
+        procs,
+        config.ga.population_size,
+        config.init_random_fraction,
+        &mut rng,
+    );
+
+    let engine = GaEngine::new(selection, crossover, mutation, config.ga.clone());
+    let ga = engine.run(&problem, initial, max_generations_override, &mut rng);
+
+    BatchOutcome {
+        queues: ga.best.to_queues(),
+        best: ga.best.clone(),
+        best_makespan: ga.best_makespan,
+        best_fitness: ga.best_fitness,
+        generations: ga.generations,
+        ga,
+    }
+}
+
+/// [`schedule_batch_capped`] without a generation override.
+pub fn schedule_batch(
+    batch: &[Task],
+    procs: &[ProcessorState],
+    config: &PnConfig,
+    seed: u64,
+) -> BatchOutcome {
+    schedule_batch_capped(batch, procs, config, None, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::{SimTime, TaskId};
+
+    fn batch(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn procs(rates: &[f64]) -> Vec<ProcessorState> {
+        rates
+            .iter()
+            .map(|&rate| ProcessorState {
+                rate,
+                existing_load_mflops: 0.0,
+                comm_cost: 0.0,
+            })
+            .collect()
+    }
+
+    fn quick_config(max_gens: u32) -> PnConfig {
+        let mut c = PnConfig::default();
+        c.ga.max_generations = max_gens;
+        c
+    }
+
+    #[test]
+    fn all_tasks_scheduled_exactly_once() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0, 75.0, 25.0, 500.0]);
+        let p = procs(&[100.0, 150.0, 80.0]);
+        let out = schedule_batch(&b, &p, &quick_config(100), 1);
+        let mut seen: Vec<u32> = out.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0]);
+        let p = procs(&[100.0, 150.0]);
+        let a = schedule_batch(&b, &p, &quick_config(50), 7);
+        let c = schedule_batch(&b, &p, &quick_config(50), 7);
+        assert_eq!(a.queues, c.queues);
+        assert_eq!(a.best_makespan, c.best_makespan);
+    }
+
+    #[test]
+    fn ga_beats_the_worst_individual() {
+        // With heterogeneous rates and sizes, the evolved makespan must be
+        // no worse than a naive all-on-one-processor plan.
+        let b = batch(&[500.0, 400.0, 300.0, 200.0, 100.0, 50.0, 25.0, 12.0]);
+        let p = procs(&[60.0, 120.0, 240.0]);
+        let out = schedule_batch(&b, &p, &quick_config(200), 3);
+        let total: f64 = b.iter().map(|t| t.mflops).sum();
+        let naive = total / 60.0; // everything on the slowest
+        assert!(out.best_makespan < naive);
+        // And at least as good as the theoretical optimum allows.
+        let ideal = total / (60.0 + 120.0 + 240.0);
+        assert!(out.best_makespan >= ideal - 1e-9);
+    }
+
+    #[test]
+    fn generation_override_is_respected() {
+        let b = batch(&[100.0; 20]);
+        let p = procs(&[100.0, 100.0]);
+        let out = schedule_batch_capped(&b, &p, &quick_config(1000), Some(3), 5);
+        assert_eq!(out.generations, 3);
+    }
+
+    #[test]
+    fn history_recorded_when_requested() {
+        let b = batch(&[100.0; 10]);
+        let p = procs(&[100.0, 100.0]);
+        let mut cfg = quick_config(20);
+        cfg.ga.record_history = true;
+        let out = schedule_batch(&b, &p, &cfg, 5);
+        assert_eq!(out.ga.history.len(), out.generations as usize + 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_batch_rejected() {
+        let p = procs(&[100.0]);
+        let _ = schedule_batch(&[], &p, &PnConfig::default(), 1);
+    }
+
+    #[test]
+    fn single_processor_batch_works() {
+        let b = batch(&[10.0, 20.0, 30.0]);
+        let p = procs(&[100.0]);
+        let out = schedule_batch(&b, &p, &quick_config(10), 2);
+        assert_eq!(out.queues.len(), 1);
+        assert_eq!(out.queues[0].len(), 3);
+        assert!((out.best_makespan - 0.6).abs() < 1e-9);
+    }
+}

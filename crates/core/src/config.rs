@@ -1,0 +1,131 @@
+//! Configuration of the PN scheduler.
+
+use dts_ga::GaConfig;
+
+use crate::time_model::GaTimeModel;
+
+/// All knobs of the PN scheduler. [`PnConfig::default`] reproduces the
+/// paper's §4.2 setup: micro-GA population of 20, up to 1000 generations,
+/// one rebalance per individual per generation with 5 probes, batch size
+/// 200, communication estimation enabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnConfig {
+    /// The underlying GA engine configuration.
+    pub ga: GaConfig,
+    /// Rebalance attempts per individual per generation (§3.5; Fig. 3
+    /// studies 0, 1 and 50 — the paper settles on 1 "to enable the
+    /// algorithm to run quickly").
+    pub rebalances_per_generation: u32,
+    /// Random probes for a larger task in the heaviest queue per rebalance
+    /// attempt ("we only allow a maximum of 5 random searches").
+    pub rebalance_probes: u32,
+    /// Range of the per-individual fraction of tasks placed randomly by the
+    /// list-scheduling initialiser (§3.3 leaves the percentage open; the
+    /// remainder is placed earliest-finish).
+    pub init_random_fraction: (f64, f64),
+    /// Batch size for the first invocation, before any smoothed idle-time
+    /// signal exists (the paper's experiments use 200).
+    pub initial_batch: usize,
+    /// Multiplier applied to the §3.7 rule `H = ⌊√(Γs + 1)⌋`. The raw rule
+    /// yields impractically small batches for second-scale `s`; the
+    /// multiplier preserves the rule's *shape* (monotone in the smoothed
+    /// idle horizon) while letting experiments hit the paper's H ≈ 200
+    /// regime. Documented in DESIGN.md §5.
+    pub batch_scale: f64,
+    /// Hard upper bound on a batch.
+    pub max_batch: usize,
+    /// Smoothing factor ν for the batch-size signal Γ(s_p) (§3.6–3.7).
+    pub batch_nu: f64,
+    /// Generations always granted even when a processor is about to idle.
+    pub min_generations: u32,
+    /// Modelled GA compute time charged to the scheduler host.
+    pub time_model: GaTimeModel,
+    /// Use smoothed communication estimates in the fitness (the paper's
+    /// key differentiator). Disabling gives the `no-comm` ablation.
+    pub use_comm_estimates: bool,
+    /// Seed for the scheduler's private RNG stream.
+    pub seed: u64,
+}
+
+impl Default for PnConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaConfig::default(),
+            rebalances_per_generation: 1,
+            rebalance_probes: 5,
+            init_random_fraction: (0.1, 0.9),
+            initial_batch: 200,
+            batch_scale: 40.0,
+            max_batch: 1000,
+            batch_nu: 0.5,
+            min_generations: 10,
+            time_model: GaTimeModel::default(),
+            use_comm_estimates: true,
+            seed: 0x9A6E_2005,
+        }
+    }
+}
+
+impl PnConfig {
+    /// Validates cross-field invariants. Called by the scheduler
+    /// constructor; exposed for configuration loaders.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_batch == 0 {
+            return Err("initial_batch must be ≥ 1".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be ≥ 1".into());
+        }
+        let (lo, hi) = self.init_random_fraction;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(format!("invalid init_random_fraction ({lo}, {hi})"));
+        }
+        if !(0.0..=1.0).contains(&self.batch_nu) {
+            return Err(format!("batch_nu {} not in [0,1]", self.batch_nu));
+        }
+        if self.batch_scale <= 0.0 {
+            return Err("batch_scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PnConfig::default();
+        assert_eq!(c.ga.population_size, 20, "micro-GA");
+        assert_eq!(c.ga.max_generations, 1000);
+        assert_eq!(c.rebalances_per_generation, 1);
+        assert_eq!(c.rebalance_probes, 5);
+        assert_eq!(c.initial_batch, 200);
+        assert!(c.use_comm_estimates);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fraction() {
+        let mut c = PnConfig::default();
+        c.init_random_fraction = (0.9, 0.1);
+        assert!(c.validate().is_err());
+        c.init_random_fraction = (0.0, 1.5);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_batch() {
+        let mut c = PnConfig::default();
+        c.initial_batch = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_nu() {
+        let mut c = PnConfig::default();
+        c.batch_nu = 2.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! The fitness function of §3.2.
+//!
+//! Previously assigned but unprocessed load is folded in through
+//! `δⱼ = Lⱼ / Pⱼ`. The theoretical optimal processing time is
+//!
+//! ```text
+//! ψ = ( Σᵢ tᵢ / Σⱼ Pⱼ ) + Σⱼ δⱼ
+//! ```
+//!
+//! and the relative error of individual *i* is
+//!
+//! ```text
+//! Eᵢ = sqrt( Σⱼ | ψ − ( δⱼ + Σ_{y→j} ( t_y / Pⱼ + Γc(y,j) ) ) |² )
+//! ```
+//!
+//! where `Γc(y,j)` is the smoothed communication-cost estimate for
+//! scheduling task *y* on processor *j*. The fitness is `Fᵢ = 1/Eᵢ`,
+//! clamped into `(0, 1]` (the paper states `Fᵢ = [0, 1]`); a larger value
+//! indicates a fitter schedule.
+
+use std::cell::RefCell;
+
+use dts_ga::{Chromosome, Problem};
+use dts_model::Task;
+
+use crate::config::PnConfig;
+use crate::rebalance::rebalance_once;
+use dts_distributions::Prng;
+
+/// What the fitness function knows about one processor at planning time.
+///
+/// All three fields are *estimates* from the scheduler's point of view:
+/// `rate` is the smoothed execution-rate estimate (initialised from the
+/// Linpack rating), `existing_load_mflops` is `Lⱼ` — work already assigned
+/// to the processor but not yet completed — and `comm_cost` is the smoothed
+/// per-message cost `Γc` for this link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorState {
+    /// Estimated execution rate `Pⱼ` in Mflop/s (> 0).
+    pub rate: f64,
+    /// Previously assigned, unprocessed load `Lⱼ` in MFLOPs.
+    pub existing_load_mflops: f64,
+    /// Estimated one-way communication cost per message, in seconds.
+    pub comm_cost: f64,
+}
+
+impl ProcessorState {
+    /// `δⱼ = Lⱼ / Pⱼ`: seconds until the existing load drains.
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        if self.rate > 0.0 {
+            self.existing_load_mflops / self.rate
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The §3.2 optimisation problem for one batch: implements
+/// [`dts_ga::Problem`] so the generic engine can evolve it, and carries the
+/// §3.5 rebalancing heuristic as its `improve` hook.
+pub struct BatchProblem<'a> {
+    /// The batch being scheduled; chromosome slot `k` refers to
+    /// `batch[k]`.
+    batch: &'a [Task],
+    /// Per-processor estimates.
+    procs: &'a [ProcessorState],
+    /// ψ: the theoretical optimal processing time for this batch.
+    psi: f64,
+    /// Whether Γc enters the fitness (PN: yes; the `no-comm` ablation: no).
+    use_comm: bool,
+    /// Rebalance attempts per improve() call (R in Fig. 3/4; 0 disables).
+    rebalances: u32,
+    /// Probes per rebalance attempt (paper: 5).
+    rebalance_probes: u32,
+    /// Scratch: per-processor completion times, reused across evaluations
+    /// to keep the hot path allocation-free.
+    completions: RefCell<Vec<f64>>,
+}
+
+impl<'a> BatchProblem<'a> {
+    /// Builds the problem for a batch and processor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is empty or any rate is non-positive.
+    pub fn new(batch: &'a [Task], procs: &'a [ProcessorState], config: &PnConfig) -> Self {
+        assert!(!procs.is_empty(), "no processors to schedule onto");
+        assert!(
+            procs.iter().all(|p| p.rate > 0.0 && p.rate.is_finite()),
+            "processor rates must be positive"
+        );
+        let total_mflops: f64 = batch.iter().map(|t| t.mflops).sum();
+        let total_rate: f64 = procs.iter().map(|p| p.rate).sum();
+        let sum_delta: f64 = procs.iter().map(ProcessorState::delta).sum();
+        let psi = total_mflops / total_rate + sum_delta;
+        Self {
+            batch,
+            procs,
+            psi,
+            use_comm: config.use_comm_estimates,
+            rebalances: config.rebalances_per_generation,
+            rebalance_probes: config.rebalance_probes,
+            completions: RefCell::new(vec![0.0; procs.len()]),
+        }
+    }
+
+    /// ψ — the theoretical optimal processing time (§3.2).
+    pub fn psi(&self) -> f64 {
+        self.psi
+    }
+
+    /// The batch under optimisation.
+    pub fn batch(&self) -> &[Task] {
+        self.batch
+    }
+
+    /// The processor estimates.
+    pub fn procs(&self) -> &[ProcessorState] {
+        self.procs
+    }
+
+    /// Fills `out` with per-processor completion times
+    /// `Cⱼ = δⱼ + Σ_{y→j} (t_y/Pⱼ + Γc)` for the given schedule.
+    pub fn completion_times(&self, c: &Chromosome, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.procs.iter().map(ProcessorState::delta));
+        for (proc, slot) in c.assignments() {
+            let p = &self.procs[proc];
+            let t = &self.batch[slot as usize];
+            let mut cost = t.mflops / p.rate;
+            if self.use_comm {
+                cost += p.comm_cost;
+            }
+            out[proc] += cost;
+        }
+    }
+
+    /// The relative error `E` of a schedule (§3.2). Zero means every
+    /// processor finishes exactly at ψ.
+    pub fn relative_error(&self, c: &Chromosome) -> f64 {
+        let mut completions = self.completions.borrow_mut();
+        self.completion_times(c, &mut completions);
+        let sum_sq: f64 = completions
+            .iter()
+            .map(|&cj| {
+                let d = self.psi - cj;
+                d * d
+            })
+            .sum();
+        sum_sq.sqrt()
+    }
+}
+
+impl Problem for BatchProblem<'_> {
+    /// `F = 1/E`, clamped into `(0, 1]`; `E = 0` maps to the perfect score 1.
+    fn fitness(&self, c: &Chromosome) -> f64 {
+        let e = self.relative_error(c);
+        if e <= 1.0 {
+            1.0
+        } else {
+            1.0 / e
+        }
+    }
+
+    /// Estimated makespan: the largest per-processor completion time.
+    fn makespan(&self, c: &Chromosome) -> f64 {
+        let mut completions = self.completions.borrow_mut();
+        self.completion_times(c, &mut completions);
+        completions.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The §3.5 rebalancing heuristic, applied `rebalances` times.
+    fn improve(&self, c: &mut Chromosome, current_fitness: f64, rng: &mut Prng) -> Option<f64> {
+        if self.rebalances == 0 {
+            return None;
+        }
+        let mut fitness = current_fitness;
+        let mut improved = false;
+        for _ in 0..self.rebalances {
+            if let Some(f) = rebalance_once(self, c, fitness, self.rebalance_probes, rng) {
+                fitness = f;
+                improved = true;
+            }
+        }
+        improved.then_some(fitness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::{SimTime, TaskId};
+
+    fn task(id: u32, mflops: f64) -> Task {
+        Task::new(TaskId(id), mflops, SimTime::ZERO)
+    }
+
+    fn proc(rate: f64, load: f64, comm: f64) -> ProcessorState {
+        ProcessorState {
+            rate,
+            existing_load_mflops: load,
+            comm_cost: comm,
+        }
+    }
+
+    fn config() -> PnConfig {
+        PnConfig::default()
+    }
+
+    #[test]
+    fn psi_matches_hand_computation() {
+        // Two processors at 100 and 300 Mflop/s with loads 100 and 0.
+        // ψ = (600 / 400) + (100/100 + 0) = 1.5 + 1.0 = 2.5
+        let batch = [task(0, 200.0), task(1, 400.0)];
+        let procs = [proc(100.0, 100.0, 0.0), proc(300.0, 0.0, 0.0)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        assert!((p.psi() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_times_include_delta_and_comm() {
+        let batch = [task(0, 200.0), task(1, 400.0)];
+        let procs = [proc(100.0, 100.0, 0.5), proc(200.0, 0.0, 0.25)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        // All tasks on processor 0: C0 = 1 + (200+400)/100 + 2×0.5 = 8, C1 = 0.
+        let c = Chromosome::from_queues(&[vec![0, 1], vec![]]);
+        let mut out = Vec::new();
+        p.completion_times(&c, &mut out);
+        assert!((out[0] - 8.0).abs() < 1e-12);
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn comm_can_be_disabled() {
+        let batch = [task(0, 200.0)];
+        let procs = [proc(100.0, 0.0, 5.0)];
+        let mut cfg = config();
+        cfg.use_comm_estimates = false;
+        let p = BatchProblem::new(&batch, &procs, &cfg);
+        let c = Chromosome::from_queues(&[vec![0]]);
+        let mut out = Vec::new();
+        p.completion_times(&c, &mut out);
+        assert!((out[0] - 2.0).abs() < 1e-12, "no comm term expected");
+    }
+
+    #[test]
+    fn perfectly_balanced_schedule_has_zero_error() {
+        // Two identical processors, two identical tasks, no comm, no load.
+        let batch = [task(0, 100.0), task(1, 100.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(100.0, 0.0, 0.0)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let balanced = Chromosome::from_queues(&[vec![0], vec![1]]);
+        assert!(p.relative_error(&balanced) < 1e-12);
+        assert_eq!(p.fitness(&balanced), 1.0);
+    }
+
+    #[test]
+    fn skewed_schedule_scores_worse() {
+        let batch = [task(0, 100.0), task(1, 100.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(100.0, 0.0, 0.0)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let balanced = Chromosome::from_queues(&[vec![0], vec![1]]);
+        let skewed = Chromosome::from_queues(&[vec![0, 1], vec![]]);
+        assert!(p.fitness(&balanced) > p.fitness(&skewed));
+        assert!(p.makespan(&skewed) > p.makespan(&balanced));
+    }
+
+    #[test]
+    fn fitness_is_clamped_to_unit_interval() {
+        let batch: Vec<Task> = (0..20).map(|i| task(i, 1000.0)).collect();
+        let procs = [proc(10.0, 0.0, 0.0), proc(1000.0, 0.0, 0.0)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        // Terrible schedule: everything on the slow machine.
+        let all_slow = Chromosome::from_queues(&[(0..20).collect(), vec![]]);
+        let f = p.fitness(&all_slow);
+        assert!(f > 0.0 && f <= 1.0, "fitness {f} out of (0,1]");
+    }
+
+    #[test]
+    fn makespan_prefers_fast_processor() {
+        let batch = [task(0, 1000.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(500.0, 0.0, 0.0)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let on_slow = Chromosome::from_queues(&[vec![0], vec![]]);
+        let on_fast = Chromosome::from_queues(&[vec![], vec![0]]);
+        assert!((p.makespan(&on_slow) - 10.0).abs() < 1e-12);
+        assert!((p.makespan(&on_fast) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_costs_steer_assignment_value() {
+        // Equal rates, but processor 0's link is expensive. A schedule
+        // using the cheap link must be fitter.
+        let batch = [task(0, 100.0)];
+        let procs = [proc(100.0, 0.0, 10.0), proc(100.0, 0.0, 0.1)];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let expensive = Chromosome::from_queues(&[vec![0], vec![]]);
+        let cheap = Chromosome::from_queues(&[vec![], vec![0]]);
+        assert!(p.fitness(&cheap) > p.fitness(&expensive));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_processors_rejected() {
+        let batch = [task(0, 1.0)];
+        let procs: [ProcessorState; 0] = [];
+        let _ = BatchProblem::new(&batch, &procs, &config());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let batch = [task(0, 1.0)];
+        let procs = [proc(0.0, 0.0, 0.0)];
+        let _ = BatchProblem::new(&batch, &procs, &config());
+    }
+}

@@ -1,0 +1,215 @@
+//! The rebalancing heuristic of §3.5.
+//!
+//! > "For each individual in the population, in each generation, we select
+//! > the most heavily loaded processor. A task is then selected at random
+//! > from another processor and if it is smaller than a task in the most
+//! > heavily loaded processor, a swap is performed. We only allow a maximum
+//! > of 5 random searches for a smaller task. If the resulting schedule is
+//! > fitter, it is kept."
+//!
+//! The swap exchanges a *small* task from elsewhere with a *larger* task on
+//! the bottleneck processor, shrinking the heaviest queue's load while
+//! keeping queue lengths intact — a directed move no blind mutation would
+//! find quickly.
+
+use dts_distributions::{Prng, Rng};
+use dts_ga::{Chromosome, Gene, Problem};
+
+use crate::fitness::BatchProblem;
+
+/// One rebalance attempt. Returns the new fitness if a fitter schedule was
+/// found and committed, `None` otherwise (the chromosome is unchanged).
+///
+/// `probes` bounds the random searches for a larger task on the heaviest
+/// processor (the paper uses 5).
+pub fn rebalance_once(
+    problem: &BatchProblem<'_>,
+    c: &mut Chromosome,
+    current_fitness: f64,
+    probes: u32,
+    rng: &mut Prng,
+) -> Option<f64> {
+    let n_procs = c.n_procs() as usize;
+    if n_procs < 2 {
+        return None;
+    }
+
+    // ---- locate the most heavily loaded processor --------------------
+    // Load = completion time (existing load + batch work + comm), matching
+    // what the fitness function penalises.
+    let mut completions = Vec::with_capacity(n_procs);
+    problem.completion_times(c, &mut completions);
+    let heavy = completions
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite completion times"))
+        .map(|(i, _)| i)
+        .expect("at least one processor");
+
+    // ---- index gene positions per queue ------------------------------
+    // One linear pass; positions of task genes grouped by processor.
+    let mut heavy_positions: Vec<usize> = Vec::new();
+    let mut donor_positions: Vec<usize> = Vec::new();
+    {
+        let mut proc = 0usize;
+        for (i, g) in c.genes().iter().enumerate() {
+            match g {
+                Gene::Task(_) => {
+                    if proc == heavy {
+                        heavy_positions.push(i);
+                    } else {
+                        donor_positions.push(i);
+                    }
+                }
+                Gene::Delim(_) => proc += 1,
+            }
+        }
+    }
+    if heavy_positions.is_empty() || donor_positions.is_empty() {
+        return None;
+    }
+
+    // ---- pick the random donor task ----------------------------------
+    let donor_pos = donor_positions[rng.below(donor_positions.len())];
+    let donor_slot = match c.genes()[donor_pos] {
+        Gene::Task(s) => s,
+        Gene::Delim(_) => unreachable!("donor positions contain only tasks"),
+    };
+    let donor_size = problem.batch()[donor_slot as usize].mflops;
+
+    // ---- probe for a larger task on the heavy processor --------------
+    let mut swap_pos = None;
+    for _ in 0..probes.max(1) {
+        let pos = heavy_positions[rng.below(heavy_positions.len())];
+        let slot = match c.genes()[pos] {
+            Gene::Task(s) => s,
+            Gene::Delim(_) => unreachable!("heavy positions contain only tasks"),
+        };
+        if problem.batch()[slot as usize].mflops > donor_size {
+            swap_pos = Some(pos);
+            break;
+        }
+    }
+    let heavy_pos = swap_pos?;
+
+    // ---- tentative swap, keep only if fitter --------------------------
+    c.genes_swap(donor_pos, heavy_pos);
+    let new_fitness = problem.fitness(c);
+    if new_fitness > current_fitness {
+        Some(new_fitness)
+    } else {
+        c.genes_swap(donor_pos, heavy_pos); // revert
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PnConfig;
+    use crate::fitness::ProcessorState;
+    use dts_model::{SimTime, Task, TaskId};
+
+    fn tasks(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn procs(n: usize) -> Vec<ProcessorState> {
+        (0..n)
+            .map(|_| ProcessorState {
+                rate: 100.0,
+                existing_load_mflops: 0.0,
+                comm_cost: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_moves_load_off_the_heavy_processor() {
+        // Processor 0 holds two huge tasks; processor 1 a tiny one.
+        let batch = tasks(&[1000.0, 1000.0, 10.0]);
+        let ps = procs(2);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2]]);
+        let f0 = problem.fitness(&c);
+        let mut rng = Prng::seed_from(1);
+        let mut improved = false;
+        for _ in 0..20 {
+            if let Some(f) = rebalance_once(&problem, &mut c, f0, 5, &mut rng) {
+                assert!(f > f0);
+                improved = true;
+                break;
+            }
+        }
+        assert!(improved, "rebalance should find the obvious swap");
+        // The big task moved off processor 0 in exchange for the small one.
+        let queues = c.to_queues();
+        let load0: f64 = queues[0].iter().map(|&s| batch[s as usize].mflops).sum();
+        assert!(load0 < 2000.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rebalance_never_worsens() {
+        let batch = tasks(&[500.0, 300.0, 200.0, 100.0, 50.0]);
+        let ps = procs(3);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2, 3], vec![4]]);
+        let mut fitness = problem.fitness(&c);
+        let mut rng = Prng::seed_from(2);
+        for _ in 0..200 {
+            if let Some(f) = rebalance_once(&problem, &mut c, fitness, 5, &mut rng) {
+                assert!(f >= fitness, "keep-if-fitter violated");
+                fitness = f;
+            }
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn single_processor_is_noop() {
+        let batch = tasks(&[1.0, 2.0]);
+        let ps = procs(1);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c = Chromosome::from_queues(&[vec![0, 1]]);
+        let f = problem.fitness(&c);
+        let mut rng = Prng::seed_from(3);
+        assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn empty_donor_queues_are_handled() {
+        // All tasks on the heavy processor: nothing to donate.
+        let batch = tasks(&[10.0, 20.0]);
+        let ps = procs(2);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c = Chromosome::from_queues(&[vec![0, 1], vec![]]);
+        let f = problem.fitness(&c);
+        let mut rng = Prng::seed_from(4);
+        assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn equal_sizes_cannot_swap() {
+        // Donor task is never *smaller* than a heavy task: strict inequality.
+        let batch = tasks(&[100.0, 100.0, 100.0]);
+        let ps = procs(2);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2]]);
+        let f = problem.fitness(&c);
+        let mut rng = Prng::seed_from(5);
+        for _ in 0..50 {
+            assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the PN scheduler's components: fitness sanity,
+//! rebalance safety, and whole-batch conservation.
+
+use dts_core::batch_run::schedule_batch;
+use dts_core::fitness::{BatchProblem, ProcessorState};
+use dts_core::init::{initial_population, list_scheduled_individual};
+use dts_core::rebalance::rebalance_once;
+use dts_core::PnConfig;
+use dts_distributions::Prng;
+use dts_ga::Problem;
+use dts_model::{SimTime, Task, TaskId};
+use proptest::prelude::*;
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<Task>> {
+    proptest::collection::vec(1.0..5000.0f64, 1..60).prop_map(|sizes| {
+        sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Task::new(TaskId(i as u32), s, SimTime::ZERO))
+            .collect()
+    })
+}
+
+fn procs_strategy() -> impl Strategy<Value = Vec<ProcessorState>> {
+    proptest::collection::vec((5.0..200.0f64, 0.0..5000.0f64, 0.0..30.0f64), 1..12).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .map(|(rate, load, comm)| ProcessorState {
+                    rate,
+                    existing_load_mflops: load,
+                    comm_cost: comm,
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fitness is always finite and in (0, 1]; makespan is at least δ_max
+    /// and at least the work lower bound of whichever processor hosts it.
+    #[test]
+    fn fitness_and_makespan_bounds(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        frac in 0.0..=1.0f64,
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &procs, &cfg);
+        let mut rng = Prng::seed_from(seed);
+        let c = list_scheduled_individual(&batch, &procs, frac, &mut rng);
+        let f = problem.fitness(&c);
+        prop_assert!(f.is_finite() && f > 0.0 && f <= 1.0, "fitness {f}");
+        let ms = problem.makespan(&c);
+        let max_delta = procs.iter().map(ProcessorState::delta).fold(0.0f64, f64::max);
+        prop_assert!(ms + 1e-9 >= max_delta, "makespan {ms} below existing load {max_delta}");
+        prop_assert!(ms.is_finite());
+    }
+
+    /// The rebalancing heuristic never loses tasks and never decreases
+    /// fitness (keep-if-fitter).
+    #[test]
+    fn rebalance_safe(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &procs, &cfg);
+        let mut rng = Prng::seed_from(seed);
+        let mut c = list_scheduled_individual(&batch, &procs, 0.8, &mut rng);
+        let mut fitness = problem.fitness(&c);
+        for _ in 0..16 {
+            if let Some(nf) = rebalance_once(&problem, &mut c, fitness, 5, &mut rng) {
+                prop_assert!(nf >= fitness);
+                fitness = nf;
+            }
+            prop_assert!(c.validate().is_ok());
+        }
+    }
+
+    /// The initial population is always valid and sized as requested.
+    #[test]
+    fn initial_population_valid(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        pop in 1usize..30,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Prng::seed_from(seed);
+        let p = initial_population(&batch, &procs, pop, (0.0, 1.0), &mut rng);
+        prop_assert_eq!(p.len(), pop);
+        for c in &p {
+            prop_assert!(c.validate().is_ok());
+            prop_assert_eq!(c.n_tasks() as usize, batch.len());
+        }
+    }
+
+    /// A whole batch run assigns every task exactly once, regardless of
+    /// shapes and seeds.
+    #[test]
+    fn schedule_batch_conserves_tasks(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut cfg = PnConfig::default();
+        cfg.ga.max_generations = 10;
+        let out = schedule_batch(&batch, &procs, &cfg, seed);
+        let mut seen: Vec<u32> = out.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        let expect: Vec<u32> = (0..batch.len() as u32).collect();
+        prop_assert_eq!(seen, expect);
+        prop_assert!(out.best_makespan.is_finite());
+        prop_assert!(out.best_fitness > 0.0 && out.best_fitness <= 1.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! Random distributions used by the workload generators and the simulator.
+//!
+//! The paper's experiments draw task sizes from **uniform** (Figs. 7–9),
+//! **normal** (Figs. 5–6), and **Poisson** (Figs. 10–11) distributions and
+//! per-link communication costs from normal distributions (§4.3). All of
+//! these are implemented here behind one object-safe [`Distribution`] trait
+//! so workload specifications can be configured at runtime.
+
+use crate::rng::Rng;
+use crate::special::ln_factorial;
+
+/// A continuous (or integer-valued, represented as `f64`) distribution that
+/// can be sampled with any [`Rng`].
+///
+/// Object safety matters: workload specs store `Box<dyn Distribution>` so
+/// the experiment harness can select distributions from the command line.
+pub trait Distribution: Send + Sync + std::fmt::Debug {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64;
+
+    /// The distribution's mean, used for analytic sanity checks.
+    fn mean(&self) -> f64;
+
+    /// The distribution's variance.
+    fn variance(&self) -> f64;
+}
+
+/// Adapter: lets `Distribution::sample` work with any `impl Rng` without
+/// making the trait generic (which would break object safety).
+///
+/// ```
+/// use dts_distributions::{Prng, Uniform, dist::sample_with};
+/// let mut rng = Prng::seed_from(1);
+/// let d = Uniform::new(10.0, 1000.0).unwrap();
+/// let x = sample_with(&d, &mut rng);
+/// assert!((10.0..1000.0).contains(&x));
+/// ```
+pub fn sample_with<D: Distribution + ?Sized, R: Rng>(dist: &D, rng: &mut R) -> f64 {
+    let mut draw = || rng.next_u64();
+    dist.sample(&mut draw)
+}
+
+/// Ergonomic sampling directly from an [`Rng`]:
+/// `dist.sample_rng(&mut rng)`.
+///
+/// Blanket-implemented for every [`Distribution`], including trait objects.
+pub trait DistributionExt: Distribution {
+    /// Draws one sample using `rng` as the bit source.
+    fn sample_rng<R: Rng>(&self, rng: &mut R) -> f64 {
+        sample_with(self, rng)
+    }
+}
+
+impl<D: Distribution + ?Sized> DistributionExt for D {}
+
+#[inline]
+fn f64_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn f64_open_from_bits(bits: u64) -> f64 {
+    ((bits >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Errors raised by invalid distribution parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// The interval `[lo, hi)` was empty or reversed.
+    EmptyRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A scale parameter (std-dev, rate, mean) was non-positive or non-finite.
+    BadScale(f64),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::EmptyRange { lo, hi } => write!(f, "empty range [{lo}, {hi})"),
+            DistError::BadScale(s) => write!(f, "scale parameter {s} must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// The degenerate point-mass distribution: always returns the same value.
+///
+/// Useful for experiments with homogeneous tasks or deterministic
+/// communication costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Distribution for Constant {
+    fn sample(&self, _rng: &mut dyn FnMut() -> u64) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Continuous uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates the distribution; `lo < hi` and both finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(DistError::EmptyRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        self.lo + (self.hi - self.lo) * f64_from_bits(rng())
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+/// Normal (Gaussian) distribution, sampled with the Box–Muller transform.
+///
+/// The paper's Fig. 5/6 workload is `Normal(μ = 1000 MFLOPs, σ² = 9·10⁵)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and std-dev `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !(sigma.is_finite() && sigma > 0.0 && mu.is_finite()) {
+            return Err(DistError::BadScale(sigma));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a normal distribution from mean and **variance** — the
+    /// parameterisation the paper reports (`σ² = 9 × 10⁵`).
+    pub fn from_variance(mu: f64, variance: f64) -> Result<Self, DistError> {
+        if !(variance.is_finite() && variance > 0.0) {
+            return Err(DistError::BadScale(variance));
+        }
+        Self::new(mu, variance.sqrt())
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        // Box–Muller: two uniforms → one standard normal (the sine branch is
+        // discarded to keep the sampler stateless and Sync).
+        let u1 = f64_open_from_bits(rng()); // (0,1]: safe for ln
+        let u2 = f64_from_bits(rng());
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mu + self.sigma * r * theta.cos()
+    }
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used for inter-arrival times in the dynamic-arrival workloads exercised
+/// by the examples and integration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution; `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistError::BadScale(lambda));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Creates the distribution from its mean (`1 / lambda`).
+    pub fn from_mean(mean: f64) -> Result<Self, DistError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::BadScale(mean));
+        }
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        -f64_open_from_bits(rng()).ln() / self.lambda
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+    fn variance(&self) -> f64 {
+        1.0 / (self.lambda * self.lambda)
+    }
+}
+
+/// Poisson distribution with mean `lambda`, returned as `f64`.
+///
+/// Sampling strategy:
+/// * `lambda < 30`: Knuth's product-of-uniforms method, exact and fast for
+///   small means (the paper's Fig. 10 uses mean 10).
+/// * `lambda ≥ 30`: Hörmann's PTRS transformed-rejection sampler, exact for
+///   all practical means (Fig. 11 uses mean 100).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Threshold between Knuth's method and PTRS. Knuth needs `O(λ)` uniforms
+/// per draw, PTRS `O(1)`, with the crossover in practice near 30.
+const POISSON_PTRS_THRESHOLD: f64 = 30.0;
+
+impl Poisson {
+    /// Creates the distribution; `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(DistError::BadScale(lambda));
+        }
+        Ok(Self { lambda })
+    }
+
+    fn sample_knuth(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        let limit = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut prod = f64_open_from_bits(rng());
+        while prod > limit {
+            k += 1;
+            prod *= f64_open_from_bits(rng());
+        }
+        k as f64
+    }
+
+    /// PTRS: W. Hörmann, "The transformed rejection method for generating
+    /// Poisson random variables", Insurance: Mathematics and Economics 12
+    /// (1993). Valid for `lambda ≥ 10`.
+    fn sample_ptrs(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        let lam = self.lambda;
+        let log_lam = lam.ln();
+        let b = 0.931 + 2.53 * lam.sqrt();
+        let a = -0.059 + 0.024_83 * b;
+        let inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+        let v_r = 0.9277 - 3.6224 / (b - 2.0);
+        loop {
+            let u = f64_from_bits(rng()) - 0.5;
+            let v = f64_open_from_bits(rng());
+            let us = 0.5 - u.abs();
+            let k = ((2.0 * a / us + b) * u + lam + 0.43).floor();
+            if us >= 0.07 && v <= v_r {
+                return k;
+            }
+            if k < 0.0 || (us < 0.013 && v > us) {
+                continue;
+            }
+            let lhs = (v * inv_alpha / (a / (us * us) + b)).ln();
+            let rhs = k * log_lam - lam - ln_factorial(k as u64);
+            if lhs <= rhs {
+                return k;
+            }
+        }
+    }
+}
+
+impl Distribution for Poisson {
+    fn sample(&self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        if self.lambda < POISSON_PTRS_THRESHOLD {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_ptrs(rng)
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+    use crate::stats::OnlineStats;
+
+    fn moments<D: Distribution>(d: &D, n: usize, seed: u64) -> OnlineStats {
+        let mut rng = Xoshiro256PlusPlus::seed_from(seed);
+        let mut stats = OnlineStats::new();
+        for _ in 0..n {
+            stats.push(sample_with(d, &mut rng));
+        }
+        stats
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = moments(&Constant(42.0), 1000, 1);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn uniform_bounds_and_moments() {
+        let d = Uniform::new(10.0, 1000.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from(7);
+        for _ in 0..10_000 {
+            let x = sample_with(&d, &mut rng);
+            assert!((10.0..1000.0).contains(&x));
+        }
+        let s = moments(&d, 100_000, 7);
+        assert!((s.mean() - d.mean()).abs() / d.mean() < 0.01);
+        assert!((s.variance() - d.variance()).abs() / d.variance() < 0.05);
+    }
+
+    #[test]
+    fn uniform_rejects_bad_range() {
+        assert!(Uniform::new(5.0, 5.0).is_err());
+        assert!(Uniform::new(9.0, 3.0).is_err());
+        assert!(Uniform::new(f64::NAN, 3.0).is_err());
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        // The paper's Fig. 5 parameters.
+        let d = Normal::from_variance(1000.0, 9.0e5).unwrap();
+        let s = moments(&d, 200_000, 11);
+        assert!((s.mean() - 1000.0).abs() < 10.0, "mean {}", s.mean());
+        assert!(
+            (s.variance() - 9.0e5).abs() / 9.0e5 < 0.03,
+            "variance {}",
+            s.variance()
+        );
+    }
+
+    #[test]
+    fn normal_symmetry() {
+        let d = Normal::new(0.0, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from(13);
+        let n = 100_000;
+        let above = (0..n)
+            .filter(|_| sample_with(&d, &mut rng) > 0.0)
+            .count();
+        let frac = above as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P(X>0) = {frac}");
+    }
+
+    #[test]
+    fn normal_rejects_bad_sigma() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::from_variance(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Exponential::from_mean(25.0).unwrap();
+        let s = moments(&d, 200_000, 17);
+        assert!((s.mean() - 25.0).abs() / 25.0 < 0.02);
+        assert!((s.variance() - 625.0).abs() / 625.0 < 0.05);
+        let mut rng = Xoshiro256PlusPlus::seed_from(18);
+        for _ in 0..1000 {
+            assert!(sample_with(&d, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean_knuth_branch() {
+        // Paper Fig. 10: mean 10 MFLOPs.
+        let d = Poisson::new(10.0).unwrap();
+        let s = moments(&d, 100_000, 19);
+        assert!((s.mean() - 10.0).abs() < 0.1, "mean {}", s.mean());
+        assert!((s.variance() - 10.0).abs() < 0.3, "var {}", s.variance());
+    }
+
+    #[test]
+    fn poisson_large_mean_ptrs_branch() {
+        // Paper Fig. 11: mean 100 MFLOPs — exercises PTRS.
+        let d = Poisson::new(100.0).unwrap();
+        let s = moments(&d, 100_000, 23);
+        assert!((s.mean() - 100.0).abs() < 0.5, "mean {}", s.mean());
+        assert!(
+            (s.variance() - 100.0).abs() / 100.0 < 0.05,
+            "var {}",
+            s.variance()
+        );
+    }
+
+    #[test]
+    fn poisson_samples_are_nonnegative_integers() {
+        for lambda in [0.5, 5.0, 29.9, 30.1, 250.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let mut rng = Xoshiro256PlusPlus::seed_from(29);
+            for _ in 0..2_000 {
+                let x = sample_with(&d, &mut rng);
+                assert!(x >= 0.0 && x.fract() == 0.0, "λ={lambda}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_continuity_across_threshold() {
+        // Means just below and above the Knuth/PTRS switch should give
+        // statistically indistinguishable moments.
+        let lo = moments(&Poisson::new(29.0).unwrap(), 150_000, 31);
+        let hi = moments(&Poisson::new(31.0).unwrap(), 150_000, 37);
+        assert!((lo.mean() - 29.0).abs() < 0.2, "lo mean {}", lo.mean());
+        assert!((hi.mean() - 31.0).abs() < 0.2, "hi mean {}", hi.mean());
+    }
+
+    #[test]
+    fn distributions_are_object_safe() {
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Constant(1.0)),
+            Box::new(Uniform::new(0.0, 1.0).unwrap()),
+            Box::new(Normal::new(0.0, 1.0).unwrap()),
+            Box::new(Poisson::new(4.0).unwrap()),
+            Box::new(Exponential::new(1.0).unwrap()),
+        ];
+        let mut rng = Xoshiro256PlusPlus::seed_from(41);
+        for d in &dists {
+            let x = sample_with(d.as_ref(), &mut rng);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Uniform::new(5.0, 2.0).unwrap_err();
+        assert!(e.to_string().contains("empty range"));
+        let e = Normal::new(0.0, -3.0).unwrap_err();
+        assert!(e.to_string().contains("-3"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Special mathematical functions needed by the samplers.
+//!
+//! Only `ln Γ(x)` is required (by the PTRS Poisson sampler); it is provided
+//! via the Lanczos approximation, accurate to ~15 significant digits for
+//! positive arguments.
+
+/// Lanczos coefficients for g = 7, n = 9 (Godfrey's tableau).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// ```
+/// use dts_distributions::special::ln_gamma;
+/// // Γ(5) = 24
+/// assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS_COEF[0];
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + LANCZOS_G + 0.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// `ln(k!)` for non-negative integers, exact summation for small `k` and
+/// `ln Γ(k+1)` beyond.
+pub fn ln_factorial(k: u64) -> f64 {
+    // Exact table for the most common range keeps the Poisson sampler fast.
+    const TABLE_LEN: usize = 32;
+    if (k as usize) < TABLE_LEN {
+        let mut acc = 0.0f64;
+        for i in 2..=k {
+            acc += (i as f64).ln();
+        }
+        acc
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_of_integers_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let got = ln_gamma(n as f64);
+            let want = fact.ln();
+            assert!(
+                (got - want).abs() < 1e-10,
+                "ln_gamma({n}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_half_is_sqrt_pi() {
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_reflection_small_argument() {
+        // Γ(0.25) ≈ 3.625609908
+        let want = 3.625_609_908_221_908_f64.ln();
+        assert!((ln_gamma(0.25) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct() {
+        let mut fact = 1.0f64;
+        for k in 0..20u64 {
+            if k > 0 {
+                fact *= k as f64;
+            }
+            assert!((ln_factorial(k) - fact.ln()).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn ln_factorial_continuous_at_table_boundary() {
+        // 31 uses the table, 32 the Lanczos path; Stirling's bound checks both.
+        for k in [31u64, 32, 33, 100, 1000] {
+            let got = ln_factorial(k);
+            let kf = k as f64;
+            let stirling = kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln();
+            assert!(
+                (got - stirling).abs() < 0.01,
+                "k={k}: got {got}, stirling {stirling}"
+            );
+        }
+    }
+}

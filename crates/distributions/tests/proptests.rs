@@ -1,0 +1,129 @@
+//! Property tests for the randomness and statistics substrate.
+
+use dts_distributions::{
+    dist::DistributionExt,
+    stats::{median, quantile},
+    Exponential, Histogram, Normal, OnlineStats, Poisson, Prng, Rng, Uniform,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn below_always_in_range(n in 1usize..10_000, seed in 0u64..u64::MAX) {
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn range_f64_stays_inside(lo in -1e6..1e6f64, width in 1e-6..1e6f64, seed in 0u64..u64::MAX) {
+        let hi = lo + width;
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..64 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!((lo..hi).contains(&x), "{x} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation(len in 0usize..200, seed in 0u64..u64::MAX) {
+        let mut rng = Prng::seed_from(seed);
+        let mut xs: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_samples_in_bounds(lo in -1e4..1e4f64, width in 1e-3..1e4f64, seed in 0u64..u64::MAX) {
+        let d = Uniform::new(lo, lo + width).unwrap();
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..32 {
+            let x = d.sample_rng(&mut rng);
+            prop_assert!((lo..lo + width).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_samples_finite(mu in -1e5..1e5f64, sigma in 1e-3..1e4f64, seed in 0u64..u64::MAX) {
+        let d = Normal::new(mu, sigma).unwrap();
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(d.sample_rng(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn poisson_samples_are_nonneg_integers(lambda in 0.01..500.0f64, seed in 0u64..u64::MAX) {
+        let d = Poisson::new(lambda).unwrap();
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..16 {
+            let x = d.sample_rng(&mut rng);
+            prop_assert!(x >= 0.0 && x.fract() == 0.0, "λ={lambda}: {x}");
+        }
+    }
+
+    #[test]
+    fn exponential_samples_nonnegative(mean in 1e-3..1e5f64, seed in 0u64..u64::MAX) {
+        let d = Exponential::from_mean(mean).unwrap();
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(d.sample_rng(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_two_pass(xs in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential(
+        xs in proptest::collection::vec(-1e4..1e4f64, 1..100),
+        split in 0usize..100,
+    ) {
+        let k = split % xs.len();
+        let whole: OnlineStats = xs.iter().copied().collect();
+        let mut left: OnlineStats = xs[..k].iter().copied().collect();
+        let right: OnlineStats = xs[k..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            < 1e-6 * (1.0 + whole.variance().abs()));
+    }
+
+    #[test]
+    fn quantiles_within_hull(xs in proptest::collection::vec(-1e4..1e4f64, 1..100), q in 0.0..=1.0f64) {
+        let v = quantile(&xs, q).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        let med = median(&xs).unwrap();
+        prop_assert!(med >= min - 1e-9 && med <= max + 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_everything(
+        xs in proptest::collection::vec(-100.0..200.0f64, 0..200),
+        bins in 1usize..32,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.total(), xs.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+    }
+}

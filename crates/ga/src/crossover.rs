@@ -1,0 +1,407 @@
+//! Crossover operators on permutation chromosomes.
+//!
+//! The paper (§3.3) uses the **cycle crossover** of Oliver, Smith & Holland
+//! (1987), "to promote exploration as used in [Zomaya & Teh]". Because our
+//! delimiters are unique symbols (see [`crate::encoding`]), every classical
+//! permutation crossover applies directly; [`OrderCrossover`] and
+//! [`OnePointOrder`] are provided for the `ablate_crossover` study.
+
+use dts_distributions::{Prng, Rng};
+
+use crate::encoding::{Chromosome, Gene};
+
+/// Produces two children from two parents of the same symbol set.
+pub trait CrossoverOp: Send + Sync {
+    /// Recombines `a` and `b`. Implementations must preserve the symbol
+    /// multiset (each task slot and delimiter appears exactly once in each
+    /// child).
+    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng)
+        -> (Chromosome, Chromosome);
+
+    /// Short label for experiment tables.
+    fn label(&self) -> &'static str;
+}
+
+/// Scratch buffers shared by the operators; reallocation-free across calls
+/// would require `&mut self`, and the operators stay `&self` for easy
+/// sharing, so buffers are local but sized exactly once.
+fn position_table(c: &Chromosome) -> Vec<u32> {
+    let n = c.genes().len();
+    let h = c.n_tasks() as usize;
+    let mut pos = vec![0u32; n];
+    for (i, g) in c.genes().iter().enumerate() {
+        pos[g.dense_index(h)] = i as u32;
+    }
+    pos
+}
+
+/// Cycle crossover (CX): children inherit *positions* from alternating
+/// parental cycles, guaranteeing each child is a valid permutation and each
+/// allele comes from one of its parents at the same position.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleCrossover;
+
+impl CrossoverOp for CycleCrossover {
+    fn cross(
+        &self,
+        a: &Chromosome,
+        b: &Chromosome,
+        _rng: &mut Prng,
+    ) -> (Chromosome, Chromosome) {
+        assert!(a.same_symbol_set(b), "parents must share a symbol set");
+        let n = a.genes().len();
+        let h = a.n_tasks() as usize;
+        let pos_in_a = position_table(a);
+
+        let mut child_a: Vec<Gene> = a.genes().to_vec();
+        let mut child_b: Vec<Gene> = b.genes().to_vec();
+        let mut visited = vec![false; n];
+        let mut cycle_members: Vec<usize> = Vec::new();
+        let mut cycle_parity = false; // false: keep from own parent
+
+        for start in 0..n {
+            if visited[start] {
+                continue;
+            }
+            cycle_members.clear();
+            let mut p = start;
+            loop {
+                visited[p] = true;
+                cycle_members.push(p);
+                // Follow the cycle: the symbol b has at this position sits
+                // somewhere in a; that position continues the cycle.
+                let sym = b.genes()[p];
+                p = pos_in_a[sym.dense_index(h)] as usize;
+                if p == start {
+                    break;
+                }
+            }
+            if cycle_parity {
+                // Odd cycles swap parental material.
+                for &i in &cycle_members {
+                    std::mem::swap(&mut child_a[i], &mut child_b[i]);
+                }
+            }
+            cycle_parity = !cycle_parity;
+        }
+
+        (
+            Chromosome::from_genes(child_a, a.n_tasks(), a.n_procs()),
+            Chromosome::from_genes(child_b, b.n_tasks(), b.n_procs()),
+        )
+    }
+
+    fn label(&self) -> &'static str {
+        "cycle"
+    }
+}
+
+/// Order crossover (OX): a random segment is kept from one parent; the
+/// remaining symbols fill in, in the order they appear in the other parent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrderCrossover;
+
+impl OrderCrossover {
+    fn one_child(keep: &Chromosome, fill: &Chromosome, lo: usize, hi: usize) -> Chromosome {
+        let n = keep.genes().len();
+        let h = keep.n_tasks() as usize;
+        let mut in_segment = vec![false; n];
+        for g in &keep.genes()[lo..hi] {
+            in_segment[g.dense_index(h)] = true;
+        }
+        let mut child: Vec<Gene> = Vec::with_capacity(n);
+        let mut filler = fill
+            .genes()
+            .iter()
+            .copied()
+            .filter(|g| !in_segment[g.dense_index(h)]);
+        for i in 0..n {
+            if i >= lo && i < hi {
+                child.push(keep.genes()[i]);
+            } else {
+                child.push(filler.next().expect("filler exhausted"));
+            }
+        }
+        Chromosome::from_genes(child, keep.n_tasks(), keep.n_procs())
+    }
+}
+
+impl CrossoverOp for OrderCrossover {
+    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng) -> (Chromosome, Chromosome) {
+        assert!(a.same_symbol_set(b), "parents must share a symbol set");
+        let n = a.genes().len();
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let i = rng.below(n);
+        let j = rng.below(n);
+        let (lo, hi) = if i <= j { (i, j + 1) } else { (j, i + 1) };
+        (
+            Self::one_child(a, b, lo, hi),
+            Self::one_child(b, a, lo, hi),
+        )
+    }
+
+    fn label(&self) -> &'static str {
+        "order"
+    }
+}
+
+/// One-point crossover with order repair: the child keeps a prefix of one
+/// parent and appends the missing symbols in the other parent's order.
+/// The simplest permutation-safe recombination; used as the ablation
+/// baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnePointOrder;
+
+impl CrossoverOp for OnePointOrder {
+    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng) -> (Chromosome, Chromosome) {
+        assert!(a.same_symbol_set(b), "parents must share a symbol set");
+        let n = a.genes().len();
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let cut = rng.range_usize(1, n);
+        let h = a.n_tasks() as usize;
+        let make = |head: &Chromosome, tail: &Chromosome| {
+            let mut used = vec![false; n];
+            let mut child: Vec<Gene> = Vec::with_capacity(n);
+            for g in &head.genes()[..cut] {
+                used[g.dense_index(h)] = true;
+                child.push(*g);
+            }
+            child.extend(
+                tail.genes()
+                    .iter()
+                    .copied()
+                    .filter(|g| !used[g.dense_index(h)]),
+            );
+            Chromosome::from_genes(child, head.n_tasks(), head.n_procs())
+        };
+        (make(a, b), make(b, a))
+    }
+
+    fn label(&self) -> &'static str {
+        "one-point"
+    }
+}
+
+/// Partially-mapped crossover (PMX, Goldberg & Lingle 1985): a random
+/// segment is exchanged between the parents and the conflicts outside the
+/// segment are repaired through the induced symbol mapping. Preserves more
+/// absolute positions than OX; the classic TSP operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartiallyMapped;
+
+impl PartiallyMapped {
+    fn one_child(
+        base: &Chromosome,
+        donor: &Chromosome,
+        lo: usize,
+        hi: usize,
+    ) -> Chromosome {
+        let n = base.genes().len();
+        let h = base.n_tasks() as usize;
+        let mut child: Vec<Gene> = base.genes().to_vec();
+        // Where does each symbol currently sit in the child?
+        let mut pos = vec![0usize; n];
+        for (i, g) in child.iter().enumerate() {
+            pos[g.dense_index(h)] = i;
+        }
+        // Transplant the donor segment, swapping out conflicts.
+        for i in lo..hi {
+            let incoming = donor.genes()[i];
+            let incoming_idx = incoming.dense_index(h);
+            let current_idx = child[i].dense_index(h);
+            if incoming_idx != current_idx {
+                let j = pos[incoming_idx];
+                child.swap(i, j);
+                pos[current_idx] = j;
+                pos[incoming_idx] = i;
+            }
+        }
+        Chromosome::from_genes(child, base.n_tasks(), base.n_procs())
+    }
+}
+
+impl CrossoverOp for PartiallyMapped {
+    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng) -> (Chromosome, Chromosome) {
+        assert!(a.same_symbol_set(b), "parents must share a symbol set");
+        let n = a.genes().len();
+        if n < 2 {
+            return (a.clone(), b.clone());
+        }
+        let i = rng.below(n);
+        let j = rng.below(n);
+        let (lo, hi) = if i <= j { (i, j + 1) } else { (j, i + 1) };
+        (
+            Self::one_child(a, b, lo, hi),
+            Self::one_child(b, a, lo, hi),
+        )
+    }
+
+    fn label(&self) -> &'static str {
+        "pmx"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chrom(queues: &[Vec<u32>]) -> Chromosome {
+        Chromosome::from_queues(queues)
+    }
+
+    fn parents() -> (Chromosome, Chromosome) {
+        (
+            chrom(&[vec![0, 1], vec![2, 3], vec![4, 5]]),
+            chrom(&[vec![5, 4], vec![3, 2], vec![1, 0]]),
+        )
+    }
+
+    #[test]
+    fn cycle_children_are_valid_permutations() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(1);
+        let (c, d) = CycleCrossover.cross(&a, &b, &mut rng);
+        assert!(c.validate().is_ok());
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_alleles_come_from_a_parent_at_same_position() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(1);
+        let (c, d) = CycleCrossover.cross(&a, &b, &mut rng);
+        for i in 0..a.genes().len() {
+            assert!(c.genes()[i] == a.genes()[i] || c.genes()[i] == b.genes()[i]);
+            assert!(d.genes()[i] == a.genes()[i] || d.genes()[i] == b.genes()[i]);
+        }
+    }
+
+    #[test]
+    fn cycle_identical_parents_reproduce() {
+        let (a, _) = parents();
+        let mut rng = Prng::seed_from(2);
+        let (c, d) = CycleCrossover.cross(&a, &a, &mut rng);
+        assert_eq!(c, a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn cycle_actually_mixes() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(3);
+        let (c, d) = CycleCrossover.cross(&a, &b, &mut rng);
+        // With fully reversed parents, CX produces children differing from
+        // both parents whenever there is more than one cycle.
+        assert!(c != a || d != b);
+    }
+
+    #[test]
+    fn order_children_are_valid() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(4);
+        for _ in 0..50 {
+            let (c, d) = OrderCrossover.cross(&a, &b, &mut rng);
+            assert!(c.validate().is_ok());
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn one_point_children_are_valid() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(5);
+        for _ in 0..50 {
+            let (c, d) = OnePointOrder.cross(&a, &b, &mut rng);
+            assert!(c.validate().is_ok());
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn tiny_chromosomes_survive() {
+        let a = chrom(&[vec![0]]);
+        let b = chrom(&[vec![0]]);
+        let mut rng = Prng::seed_from(6);
+        for op in [
+            &CycleCrossover as &dyn CrossoverOp,
+            &OrderCrossover,
+            &OnePointOrder,
+        ] {
+            let (c, d) = op.cross(&a, &b, &mut rng);
+            assert!(c.validate().is_ok());
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_parents_rejected() {
+        let a = chrom(&[vec![0, 1]]);
+        let b = chrom(&[vec![0], vec![1]]);
+        let mut rng = Prng::seed_from(7);
+        let _ = CycleCrossover.cross(&a, &b, &mut rng);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CycleCrossover.label(), "cycle");
+        assert_eq!(OrderCrossover.label(), "order");
+        assert_eq!(OnePointOrder.label(), "one-point");
+    }
+}
+
+#[cfg(test)]
+mod pmx_tests {
+    use super::*;
+
+    fn parents() -> (Chromosome, Chromosome) {
+        (
+            Chromosome::from_queues(&[vec![0, 1, 2], vec![3, 4], vec![5, 6]]),
+            Chromosome::from_queues(&[vec![6, 5], vec![4, 3, 2], vec![1, 0]]),
+        )
+    }
+
+    #[test]
+    fn pmx_children_valid() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(8);
+        for _ in 0..100 {
+            let (c, d) = PartiallyMapped.cross(&a, &b, &mut rng);
+            assert!(c.validate().is_ok());
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn pmx_identical_parents_reproduce() {
+        let (a, _) = parents();
+        let mut rng = Prng::seed_from(9);
+        let (c, d) = PartiallyMapped.cross(&a, &a, &mut rng);
+        assert_eq!(c, a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn pmx_mixes_material() {
+        let (a, b) = parents();
+        let mut rng = Prng::seed_from(10);
+        let mut mixed = false;
+        for _ in 0..20 {
+            let (c, _) = PartiallyMapped.cross(&a, &b, &mut rng);
+            if c != a && c != b {
+                mixed = true;
+                break;
+            }
+        }
+        assert!(mixed, "PMX never produced novel children");
+    }
+
+    #[test]
+    fn pmx_label() {
+        assert_eq!(PartiallyMapped.label(), "pmx");
+    }
+}

@@ -1,0 +1,552 @@
+//! The generation loop (Fig. 1 of the paper).
+//!
+//! ```text
+//! initialise population
+//! do {
+//!     crossover
+//!     random mutation
+//!     selection
+//! } while (stopping conditions not met)
+//! return best individual
+//! ```
+//!
+//! The engine is generic over a [`Problem`] (fitness + makespan + optional
+//! per-individual local improvement, used by the PN scheduler for the §3.5
+//! rebalancing heuristic) and over the selection/crossover/mutation
+//! operators, so the paper's configuration and every ablation variant run
+//! on the same loop.
+
+use dts_distributions::{Prng, Rng};
+
+use crate::crossover::CrossoverOp;
+use crate::encoding::Chromosome;
+use crate::mutation::MutationOp;
+use crate::selection::SelectionOp;
+
+/// The optimisation problem a GA run solves.
+pub trait Problem {
+    /// Fitness of a schedule: larger is better. The paper's PN fitness is
+    /// `F = 1/E` clamped to `(0, 1]` (§3.2); ZO uses a makespan-based
+    /// fitness. Must be finite and non-negative.
+    fn fitness(&self, c: &Chromosome) -> f64;
+
+    /// The schedule's makespan (total execution time), in seconds: the
+    /// quantity the §3.4 stopping condition and Fig. 3 track. Smaller is
+    /// better.
+    fn makespan(&self, c: &Chromosome) -> f64;
+
+    /// Optional local improvement applied to every individual in every
+    /// generation (the §3.5 rebalancing heuristic). Implementations mutate
+    /// `c` in place **only** when the result is fitter, returning the new
+    /// fitness; returning `None` leaves `c` untouched.
+    fn improve(&self, c: &mut Chromosome, current_fitness: f64, rng: &mut Prng) -> Option<f64> {
+        let _ = (c, current_fitness, rng);
+        None
+    }
+}
+
+/// Engine configuration.
+///
+/// Defaults follow §4.2: a micro-GA population of 20, up to 1000
+/// generations, single-individual random mutation per generation, elitism
+/// of one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Population size ρ (paper: 20, "known as a micro GA").
+    pub population_size: usize,
+    /// Probability that a selected pair is recombined (otherwise cloned).
+    pub crossover_rate: f64,
+    /// Random mutations applied per generation, each to one uniformly
+    /// chosen individual (the paper mutates "a randomly chosen individual").
+    pub mutations_per_generation: usize,
+    /// Individuals carried to the next generation unchanged, best first.
+    pub elitism: usize,
+    /// Hard cap on generations (paper: 1000, "the quality of the schedules
+    /// returned with more than that number does not justify the increased
+    /// computation cost").
+    pub max_generations: u32,
+    /// Stop as soon as the best makespan drops below this value (§3.4's
+    /// "specified minimum").
+    pub target_makespan: Option<f64>,
+    /// Record per-generation statistics (needed by Fig. 3; costs memory).
+    pub record_history: bool,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population_size: 20,
+            crossover_rate: 0.8,
+            mutations_per_generation: 1,
+            elitism: 1,
+            max_generations: 1000,
+            target_makespan: None,
+            record_history: false,
+        }
+    }
+}
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Best makespan fell below [`GaConfig::target_makespan`].
+    TargetReached,
+    /// [`GaConfig::max_generations`] exhausted (or an external budget —
+    /// e.g. a processor about to go idle — capped the run).
+    MaxGenerations,
+}
+
+/// Per-generation statistics, recorded when
+/// [`GaConfig::record_history`] is set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenStats {
+    /// Generation number (0 = initial population).
+    pub generation: u32,
+    /// Best (lowest) makespan in the population.
+    pub best_makespan: f64,
+    /// Best fitness in the population.
+    pub best_fitness: f64,
+    /// Mean fitness of the population.
+    pub mean_fitness: f64,
+}
+
+/// Result of one GA run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// The best schedule found across *all* generations (the paper returns
+    /// "the best schedule found so far" on early stops).
+    pub best: Chromosome,
+    /// Its makespan.
+    pub best_makespan: f64,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Generations actually evolved.
+    pub generations: u32,
+    /// Why the loop stopped.
+    pub stop_reason: StopReason,
+    /// Per-generation history (empty unless requested).
+    pub history: Vec<GenStats>,
+}
+
+struct Individual {
+    chrom: Chromosome,
+    fitness: f64,
+    makespan: f64,
+}
+
+/// The genetic-algorithm engine: operators + configuration.
+pub struct GaEngine<'a> {
+    selection: &'a dyn SelectionOp,
+    crossover: &'a dyn CrossoverOp,
+    mutation: &'a dyn MutationOp,
+    config: GaConfig,
+}
+
+impl<'a> GaEngine<'a> {
+    /// Creates an engine from operators and configuration.
+    pub fn new(
+        selection: &'a dyn SelectionOp,
+        crossover: &'a dyn CrossoverOp,
+        mutation: &'a dyn MutationOp,
+        config: GaConfig,
+    ) -> Self {
+        assert!(config.population_size >= 2, "population needs ≥ 2 individuals");
+        assert!(
+            config.elitism < config.population_size,
+            "elitism must leave room for offspring"
+        );
+        assert!((0.0..=1.0).contains(&config.crossover_rate));
+        Self {
+            selection,
+            crossover,
+            mutation,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the GA from an initial population.
+    ///
+    /// `initial` is truncated or cycled to the configured population size.
+    /// `max_generations_override`, when given, further caps the generation
+    /// count — the PN scheduler uses it to stop before a processor goes
+    /// idle (§3.4).
+    pub fn run<P: Problem>(
+        &self,
+        problem: &P,
+        initial: Vec<Chromosome>,
+        max_generations_override: Option<u32>,
+        rng: &mut Prng,
+    ) -> GaResult {
+        assert!(!initial.is_empty(), "initial population must be non-empty");
+        let pop_size = self.config.population_size;
+        let max_gens = self
+            .config
+            .max_generations
+            .min(max_generations_override.unwrap_or(u32::MAX));
+
+        // Materialise the working population, cycling the seeds if needed.
+        let mut pop: Vec<Individual> = (0..pop_size)
+            .map(|i| {
+                let chrom = initial[i % initial.len()].clone();
+                let fitness = problem.fitness(&chrom);
+                let makespan = problem.makespan(&chrom);
+                Individual {
+                    chrom,
+                    fitness,
+                    makespan,
+                }
+            })
+            .collect();
+
+        let mut history = Vec::new();
+        let (mut best_idx, _) = Self::best_of(&pop);
+        let mut best = pop[best_idx].chrom.clone();
+        let mut best_makespan = pop[best_idx].makespan;
+        let mut best_fitness = pop[best_idx].fitness;
+
+        let record = |gen: u32, pop: &[Individual], history: &mut Vec<GenStats>| {
+            if self.config.record_history {
+                let best_ms = pop.iter().map(|i| i.makespan).fold(f64::INFINITY, f64::min);
+                let best_f = pop.iter().map(|i| i.fitness).fold(0.0f64, f64::max);
+                let mean_f = pop.iter().map(|i| i.fitness).sum::<f64>() / pop.len() as f64;
+                history.push(GenStats {
+                    generation: gen,
+                    best_makespan: best_ms,
+                    best_fitness: best_f,
+                    mean_fitness: mean_f,
+                });
+            }
+        };
+        record(0, &pop, &mut history);
+
+        let mut generations = 0u32;
+        let mut stop_reason = StopReason::MaxGenerations;
+
+        if let Some(target) = self.config.target_makespan {
+            if best_makespan <= target {
+                stop_reason = StopReason::TargetReached;
+                return GaResult {
+                    best,
+                    best_makespan,
+                    best_fitness,
+                    generations,
+                    stop_reason,
+                    history,
+                };
+            }
+        }
+
+        let mut fitness_buf: Vec<f64> = Vec::with_capacity(pop_size);
+        while generations < max_gens {
+            generations += 1;
+
+            fitness_buf.clear();
+            fitness_buf.extend(pop.iter().map(|i| i.fitness));
+
+            // --- selection + crossover -> next generation -------------
+            let mut next: Vec<Individual> = Vec::with_capacity(pop_size);
+            if self.config.elitism > 0 {
+                let mut order: Vec<usize> = (0..pop.len()).collect();
+                order.sort_by(|&a, &b| {
+                    pop[b]
+                        .fitness
+                        .partial_cmp(&pop[a].fitness)
+                        .expect("finite fitness")
+                });
+                for &i in order.iter().take(self.config.elitism) {
+                    next.push(Individual {
+                        chrom: pop[i].chrom.clone(),
+                        fitness: pop[i].fitness,
+                        makespan: pop[i].makespan,
+                    });
+                }
+            }
+            while next.len() < pop_size {
+                let pa = self.selection.select(&fitness_buf, rng);
+                let pb = self.selection.select(&fitness_buf, rng);
+                if rng.chance(self.config.crossover_rate) {
+                    let (ca, cb) =
+                        self.crossover
+                            .cross(&pop[pa].chrom, &pop[pb].chrom, rng);
+                    next.push(self.evaluate(problem, ca));
+                    if next.len() < pop_size {
+                        next.push(self.evaluate(problem, cb));
+                    }
+                } else {
+                    next.push(Individual {
+                        chrom: pop[pa].chrom.clone(),
+                        fitness: pop[pa].fitness,
+                        makespan: pop[pa].makespan,
+                    });
+                }
+            }
+            pop = next;
+
+            // --- random mutation --------------------------------------
+            for _ in 0..self.config.mutations_per_generation {
+                let i = rng.below(pop.len());
+                self.mutation.mutate(&mut pop[i].chrom, rng);
+                pop[i].fitness = problem.fitness(&pop[i].chrom);
+                pop[i].makespan = problem.makespan(&pop[i].chrom);
+            }
+
+            // --- local improvement (rebalancing heuristic, §3.5) ------
+            for ind in &mut pop {
+                if let Some(new_fit) = problem.improve(&mut ind.chrom, ind.fitness, rng) {
+                    ind.fitness = new_fit;
+                    ind.makespan = problem.makespan(&ind.chrom);
+                }
+            }
+
+            // --- track the best schedule found so far ------------------
+            let (idx, _) = Self::best_of(&pop);
+            best_idx = idx;
+            if pop[best_idx].makespan < best_makespan {
+                best = pop[best_idx].chrom.clone();
+                best_makespan = pop[best_idx].makespan;
+                best_fitness = pop[best_idx].fitness;
+            }
+
+            record(generations, &pop, &mut history);
+
+            if let Some(target) = self.config.target_makespan {
+                if best_makespan <= target {
+                    stop_reason = StopReason::TargetReached;
+                    break;
+                }
+            }
+        }
+
+        GaResult {
+            best,
+            best_makespan,
+            best_fitness,
+            generations,
+            stop_reason,
+            history,
+        }
+    }
+
+    fn evaluate<P: Problem>(&self, problem: &P, chrom: Chromosome) -> Individual {
+        let fitness = problem.fitness(&chrom);
+        let makespan = problem.makespan(&chrom);
+        Individual {
+            chrom,
+            fitness,
+            makespan,
+        }
+    }
+
+    /// Index and makespan of the lowest-makespan individual (§3.4: "the
+    /// individual with the lowest makespan is selected after each
+    /// generation").
+    fn best_of(pop: &[Individual]) -> (usize, f64) {
+        let mut best = 0;
+        for (i, ind) in pop.iter().enumerate() {
+            if ind.makespan < pop[best].makespan {
+                best = i;
+            }
+        }
+        (best, pop[best].makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossover::CycleCrossover;
+    use crate::mutation::SwapMutation;
+    use crate::selection::RouletteWheel;
+
+    /// A toy problem: tasks have unit size on unit-rate processors; the
+    /// makespan is the longest queue, fitness rewards balance.
+    struct Balance;
+
+    impl Problem for Balance {
+        fn fitness(&self, c: &Chromosome) -> f64 {
+            1.0 / (1.0 + self.makespan(c))
+        }
+        fn makespan(&self, c: &Chromosome) -> f64 {
+            c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+        }
+    }
+
+    fn skewed_initial(pop: usize) -> Vec<Chromosome> {
+        // All 12 tasks piled on processor 0 of 4: maximally unbalanced.
+        let queues = vec![(0..12u32).collect::<Vec<_>>(), vec![], vec![], vec![]];
+        (0..pop).map(|_| Chromosome::from_queues(&queues)).collect()
+    }
+
+    fn engine(config: GaConfig) -> GaEngine<'static> {
+        static SEL: RouletteWheel = RouletteWheel;
+        static CX: CycleCrossover = CycleCrossover;
+        static MU: SwapMutation = SwapMutation;
+        GaEngine::new(&SEL, &CX, &MU, config)
+    }
+
+    #[test]
+    fn ga_improves_balance() {
+        let e = engine(GaConfig {
+            max_generations: 300,
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(42);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        // Initial makespan is 12; optimum is 3. The GA must get close.
+        assert!(
+            result.best_makespan <= 5.0,
+            "makespan {} after {} gens",
+            result.best_makespan,
+            result.generations
+        );
+        assert!(result.best.validate().is_ok());
+    }
+
+    #[test]
+    fn target_makespan_stops_early() {
+        let e = engine(GaConfig {
+            max_generations: 1000,
+            target_makespan: Some(6.0),
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(43);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        assert_eq!(result.stop_reason, StopReason::TargetReached);
+        assert!(result.best_makespan <= 6.0);
+        assert!(result.generations < 1000);
+    }
+
+    #[test]
+    fn generation_override_caps_run() {
+        let e = engine(GaConfig {
+            max_generations: 1000,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(44);
+        let result = e.run(&Balance, skewed_initial(20), Some(5), &mut rng);
+        assert_eq!(result.generations, 5);
+        assert_eq!(result.stop_reason, StopReason::MaxGenerations);
+    }
+
+    #[test]
+    fn history_is_recorded_and_monotone_in_best() {
+        let e = engine(GaConfig {
+            max_generations: 100,
+            record_history: true,
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(45);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        assert_eq!(result.history.len(), result.generations as usize + 1);
+        // With elitism the per-generation best fitness never degrades.
+        for w in result.history.windows(2) {
+            assert!(
+                w[1].best_fitness >= w[0].best_fitness - 1e-12,
+                "elitism violated: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let e = engine(GaConfig {
+            max_generations: 50,
+            ..GaConfig::default()
+        });
+        let mut r1 = Prng::seed_from(7);
+        let mut r2 = Prng::seed_from(7);
+        let a = e.run(&Balance, skewed_initial(20), None, &mut r1);
+        let b = e.run(&Balance, skewed_initial(20), None, &mut r2);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_makespan, b.best_makespan);
+    }
+
+    #[test]
+    fn improve_hook_is_applied() {
+        /// A problem whose "improvement" instantly balances one step by
+        /// moving a task from the longest to the shortest queue.
+        struct Greedy;
+        impl Problem for Greedy {
+            fn fitness(&self, c: &Chromosome) -> f64 {
+                1.0 / (1.0 + self.makespan(c))
+            }
+            fn makespan(&self, c: &Chromosome) -> f64 {
+                c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+            }
+            fn improve(
+                &self,
+                c: &mut Chromosome,
+                current: f64,
+                _rng: &mut Prng,
+            ) -> Option<f64> {
+                let mut queues = c.to_queues();
+                let (longest, shortest) = {
+                    let mut longest = 0;
+                    let mut shortest = 0;
+                    for i in 0..queues.len() {
+                        if queues[i].len() > queues[longest].len() {
+                            longest = i;
+                        }
+                        if queues[i].len() < queues[shortest].len() {
+                            shortest = i;
+                        }
+                    }
+                    (longest, shortest)
+                };
+                if queues[longest].len() <= queues[shortest].len() + 1 {
+                    return None;
+                }
+                let t = queues[longest].pop().unwrap();
+                queues[shortest].push(t);
+                let candidate = Chromosome::from_queues(&queues);
+                let f = self.fitness(&candidate);
+                if f > current {
+                    *c = candidate;
+                    Some(f)
+                } else {
+                    None
+                }
+            }
+        }
+
+        let e = engine(GaConfig {
+            max_generations: 20,
+            crossover_rate: 0.0,
+            mutations_per_generation: 0,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(46);
+        let result = e.run(&Greedy, skewed_initial(20), None, &mut rng);
+        // Improvement alone must fully balance 12 tasks over 4 processors.
+        assert_eq!(result.best_makespan, 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_population_rejected() {
+        let _ = engine(GaConfig {
+            population_size: 1,
+            ..GaConfig::default()
+        });
+    }
+
+    #[test]
+    fn initial_population_cycles_to_size() {
+        let e = engine(GaConfig {
+            max_generations: 1,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(47);
+        // Only 3 seeds for a population of 20.
+        let result = e.run(&Balance, skewed_initial(3), None, &mut rng);
+        assert!(result.best.validate().is_ok());
+    }
+}

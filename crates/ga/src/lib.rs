@@ -1,0 +1,35 @@
+//! Generic genetic-algorithm engine for permutation-with-delimiters
+//! schedules.
+//!
+//! The paper's GA (Fig. 1) repeats *crossover → random mutation → selection*
+//! over a population of schedule encodings until a stopping condition is
+//! met. This crate implements that machinery generically, so the PN
+//! scheduler (`dts-core`) and the ZO baseline (`dts-schedulers`) can share
+//! it while plugging in their own fitness functions:
+//!
+//! * [`encoding::Chromosome`] — the §3.1 encoding: a permutation of task
+//!   slots and `M − 1` delimiter symbols splitting it into per-processor
+//!   queues.
+//! * [`selection`] — weighted roulette-wheel (the paper's choice), plus
+//!   tournament and rank selection for ablation studies.
+//! * [`crossover`] — cycle crossover (Oliver et al., as used in the paper),
+//!   plus order crossover and a one-point/repair variant for ablations.
+//! * [`mutation`] — random swap (the paper's choice) and insert mutation.
+//! * [`engine`] — the generation loop with elitism, per-generation local
+//!   improvement hooks (for §3.5's rebalancing heuristic), statistics
+//!   history, and the §3.4 stopping conditions.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crossover;
+pub mod encoding;
+pub mod engine;
+pub mod mutation;
+pub mod selection;
+
+pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, PartiallyMapped};
+pub use encoding::{Chromosome, Gene};
+pub use engine::{GaConfig, GaEngine, GaResult, GenStats, Problem, StopReason};
+pub use mutation::{InsertMutation, InversionMutation, MutationOp, SwapMutation};
+pub use selection::{RankSelection, RouletteWheel, SelectionOp, Tournament};

@@ -1,0 +1,222 @@
+//! Mutation operators.
+//!
+//! The paper (§3.3): "we randomly swap elements of a randomly chosen
+//! individual in the population" — [`SwapMutation`]. Swapping two task genes
+//! reorders or exchanges queue entries; swapping a task with a delimiter
+//! moves the task between adjacent queues. Either way the permutation
+//! invariant is preserved by construction.
+//!
+//! [`InsertMutation`] (remove a gene, reinsert elsewhere) is included for
+//! the ablation studies; it displaces a single task with less disruption
+//! than a swap.
+
+use dts_distributions::{Prng, Rng};
+
+use crate::encoding::Chromosome;
+
+/// Mutates a chromosome in place.
+pub trait MutationOp: Send + Sync {
+    /// Applies one mutation. Must preserve the permutation invariant.
+    fn mutate(&self, c: &mut Chromosome, rng: &mut Prng);
+
+    /// Short label for experiment tables.
+    fn label(&self) -> &'static str;
+}
+
+/// Swap two uniformly chosen positions (the paper's operator).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapMutation;
+
+impl MutationOp for SwapMutation {
+    fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let n = c.genes().len();
+        if n < 2 {
+            return;
+        }
+        let i = rng.below(n);
+        let j = rng.below(n);
+        c.genes_mut().swap(i, j);
+        debug_assert!(c.validate().is_ok());
+    }
+
+    fn label(&self) -> &'static str {
+        "swap"
+    }
+}
+
+/// Remove the gene at a random position and reinsert it at another.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InsertMutation;
+
+impl MutationOp for InsertMutation {
+    fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let n = c.genes().len();
+        if n < 2 {
+            return;
+        }
+        let from = rng.below(n);
+        let to = rng.below(n);
+        if from == to {
+            return;
+        }
+        let genes = c.genes_mut();
+        let g = genes[from];
+        if from < to {
+            genes.copy_within(from + 1..=to, from);
+        } else {
+            genes.copy_within(to..from, to + 1);
+        }
+        genes[to] = g;
+        debug_assert!(c.validate().is_ok());
+    }
+
+    fn label(&self) -> &'static str {
+        "insert"
+    }
+}
+
+/// Reverse a random segment (inversion mutation): preserves adjacency at
+/// the segment ends only, shaking up queue *order* more than membership.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InversionMutation;
+
+impl MutationOp for InversionMutation {
+    fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let n = c.genes().len();
+        if n < 2 {
+            return;
+        }
+        let i = rng.below(n);
+        let j = rng.below(n);
+        let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+        c.genes_mut()[lo..=hi].reverse();
+        debug_assert!(c.validate().is_ok());
+    }
+
+    fn label(&self) -> &'static str {
+        "inversion"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chrom() -> Chromosome {
+        Chromosome::from_queues(&[vec![0, 1, 2], vec![3, 4], vec![5]])
+    }
+
+    #[test]
+    fn swap_preserves_permutation() {
+        let mut rng = Prng::seed_from(1);
+        for _ in 0..500 {
+            let mut c = chrom();
+            SwapMutation.mutate(&mut c, &mut rng);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn swap_changes_something_eventually() {
+        let mut rng = Prng::seed_from(2);
+        let base = chrom();
+        let mut changed = false;
+        for _ in 0..50 {
+            let mut c = base.clone();
+            SwapMutation.mutate(&mut c, &mut rng);
+            if c != base {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn insert_preserves_permutation() {
+        let mut rng = Prng::seed_from(3);
+        for _ in 0..500 {
+            let mut c = chrom();
+            InsertMutation.mutate(&mut c, &mut rng);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn insert_moves_single_gene() {
+        // Deterministic check of the copy_within arithmetic in both
+        // directions.
+        let base = chrom();
+        let genes = base.genes().to_vec();
+        // Simulate from=0 → to=2 manually.
+        let mut forward = genes.clone();
+        let g = forward[0];
+        forward.copy_within(1..=2, 0);
+        forward[2] = g;
+        let mut expect = genes.clone();
+        expect.remove(0);
+        expect.insert(2, g);
+        assert_eq!(forward, expect);
+        // And from=3 → to=1.
+        let mut backward = genes.clone();
+        let g = backward[3];
+        backward.copy_within(1..3, 2);
+        backward[1] = g;
+        let mut expect = genes;
+        let moved = expect.remove(3);
+        expect.insert(1, moved);
+        assert_eq!(backward, expect);
+    }
+
+    #[test]
+    fn single_gene_chromosome_is_noop() {
+        let mut c = Chromosome::from_queues(&[vec![0]]);
+        let mut rng = Prng::seed_from(4);
+        SwapMutation.mutate(&mut c, &mut rng);
+        InsertMutation.mutate(&mut c, &mut rng);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SwapMutation.label(), "swap");
+        assert_eq!(InsertMutation.label(), "insert");
+    }
+}
+
+#[cfg(test)]
+mod inversion_tests {
+    use super::*;
+
+    #[test]
+    fn inversion_preserves_permutation() {
+        let mut rng = Prng::seed_from(11);
+        for _ in 0..300 {
+            let mut c = Chromosome::from_queues(&[vec![0, 1, 2], vec![3, 4], vec![5]]);
+            InversionMutation.mutate(&mut c, &mut rng);
+            assert!(c.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn inversion_reverses_a_segment() {
+        // With n = 2, any non-trivial inversion swaps the two genes.
+        let base = Chromosome::from_queues(&[vec![0], vec![1]]);
+        let mut rng = Prng::seed_from(12);
+        let mut saw_change = false;
+        for _ in 0..50 {
+            let mut c = base.clone();
+            InversionMutation.mutate(&mut c, &mut rng);
+            if c != base {
+                saw_change = true;
+                break;
+            }
+        }
+        assert!(saw_change);
+    }
+
+    #[test]
+    fn inversion_label() {
+        assert_eq!(InversionMutation.label(), "inversion");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: every GA operator preserves the permutation invariant
+//! for arbitrary chromosome shapes, and the engine never fabricates or
+//! loses tasks.
+
+use dts_distributions::Prng;
+use dts_ga::{
+    Chromosome, CrossoverOp, CycleCrossover, GaConfig, GaEngine, InsertMutation, MutationOp,
+    OnePointOrder, OrderCrossover, Problem, RankSelection, RouletteWheel, SelectionOp,
+    SwapMutation, Tournament,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random chromosome with `h` tasks over `m` processors, built
+/// by dealing slots into random queues.
+fn chromosome(h: u32, m: u16, deal: Vec<u16>) -> Chromosome {
+    let mut queues = vec![Vec::new(); m as usize];
+    for slot in 0..h {
+        let j = deal[slot as usize % deal.len()] % m;
+        queues[j as usize].push(slot);
+    }
+    Chromosome::from_queues(&queues)
+}
+
+fn chromosome_strategy() -> impl Strategy<Value = (Chromosome, Chromosome, u64)> {
+    (1u32..80, 1u16..12, proptest::collection::vec(0u16..12, 1..80), proptest::collection::vec(0u16..12, 1..80), 0u64..u64::MAX)
+        .prop_map(|(h, m, deal_a, deal_b, seed)| {
+            (chromosome(h, m, deal_a), chromosome(h, m, deal_b), seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn crossover_preserves_permutation((a, b, seed) in chromosome_strategy()) {
+        let mut rng = Prng::seed_from(seed);
+        for op in [&CycleCrossover as &dyn CrossoverOp, &OrderCrossover, &OnePointOrder] {
+            let (c, d) = op.cross(&a, &b, &mut rng);
+            prop_assert!(c.validate().is_ok(), "{} child invalid", op.label());
+            prop_assert!(d.validate().is_ok(), "{} child invalid", op.label());
+            prop_assert!(c.same_symbol_set(&a));
+            prop_assert!(d.same_symbol_set(&a));
+        }
+    }
+
+    #[test]
+    fn cycle_crossover_alleles_positional((a, b, seed) in chromosome_strategy()) {
+        let mut rng = Prng::seed_from(seed);
+        let (c, d) = CycleCrossover.cross(&a, &b, &mut rng);
+        for i in 0..a.genes().len() {
+            prop_assert!(c.genes()[i] == a.genes()[i] || c.genes()[i] == b.genes()[i]);
+            prop_assert!(d.genes()[i] == a.genes()[i] || d.genes()[i] == b.genes()[i]);
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_permutation((a, _b, seed) in chromosome_strategy()) {
+        let mut rng = Prng::seed_from(seed);
+        for op in [&SwapMutation as &dyn MutationOp, &InsertMutation] {
+            let mut c = a.clone();
+            for _ in 0..8 {
+                op.mutate(&mut c, &mut rng);
+                prop_assert!(c.validate().is_ok(), "{} broke the permutation", op.label());
+            }
+        }
+    }
+
+    #[test]
+    fn selection_returns_valid_index(
+        fitness in proptest::collection::vec(0.0..1.0f64, 1..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Prng::seed_from(seed);
+        for op in [&RouletteWheel as &dyn SelectionOp, &Tournament::new(3), &RankSelection] {
+            let idx = op.select(&fitness, &mut rng);
+            prop_assert!(idx < fitness.len(), "{} out of range", op.label());
+        }
+    }
+
+    #[test]
+    fn engine_best_is_valid_and_no_worse_than_initial(
+        (a, b, seed) in chromosome_strategy(),
+    ) {
+        struct Balance;
+        impl Problem for Balance {
+            fn fitness(&self, c: &Chromosome) -> f64 {
+                1.0 / (1.0 + self.makespan(c))
+            }
+            fn makespan(&self, c: &Chromosome) -> f64 {
+                c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+            }
+        }
+        let sel = RouletteWheel;
+        let cx = CycleCrossover;
+        let mu = SwapMutation;
+        let engine = GaEngine::new(&sel, &cx, &mu, GaConfig {
+            population_size: 8,
+            max_generations: 12,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(seed);
+        let initial_best = Balance.makespan(&a).min(Balance.makespan(&b));
+        let result = engine.run(&Balance, vec![a, b], None, &mut rng);
+        prop_assert!(result.best.validate().is_ok());
+        prop_assert!(result.best_makespan <= initial_best + 1e-9,
+            "GA returned something worse than its seeds");
+    }
+}

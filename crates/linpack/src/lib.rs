@@ -1,0 +1,360 @@
+//! A LINPACK-style Mflop/s benchmark.
+//!
+//! §3 of the paper: "The execution rate is measured using Dongarra's
+//! Linpack benchmark. This is a recognised standard used to benchmark
+//! systems for inclusion in the list of Top 500 Supercomputers."
+//!
+//! This crate reproduces the benchmark's core — solve a dense `n × n`
+//! system `Ax = b` via LU factorisation with partial pivoting — and counts
+//! the canonical `2n³/3 + 2n²` floating-point operations to rate the host
+//! in Mflop/s, the same quantity the simulated processors carry as their
+//! `rated_mflops`. The `linpack_rating` example uses it to build a
+//! [`dts-model`-style] processor descriptor for the machine it runs on.
+//!
+//! The implementation is self-contained (no BLAS): factorisation runs
+//! right-looking with row pivoting on a flat row-major buffer.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must be n² long");
+        Self { n, data }
+    }
+
+    /// The classic LINPACK test matrix: pseudo-random entries in [-0.5, 0.5)
+    /// from a tiny deterministic LCG, diagonally shifted to keep the system
+    /// comfortably non-singular.
+    pub fn linpack(n: usize, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let x = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut data = vec![0.0; n * n];
+        for (i, slot) in data.iter_mut().enumerate() {
+            *slot = next();
+            if i % (n + 1) == 0 {
+                *slot += n as f64; // diagonal dominance
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element access (row, col).
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Computes `A·x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let row = &self.data[r * self.n..(r + 1) * self.n];
+            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+}
+
+/// An LU factorisation with partial pivoting (`PA = LU`).
+#[derive(Debug, Clone)]
+pub struct Lu {
+    n: usize,
+    /// Packed L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// Row permutation: `pivots[k]` is the row swapped into position `k`.
+    pivots: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Errors from the factorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuError {
+    /// A pivot column was exactly zero: the matrix is singular.
+    Singular {
+        /// The elimination step at which no pivot was found.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::Singular { step } => write!(f, "matrix singular at elimination step {step}"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+impl Lu {
+    /// Factorises `a` (consumed) with partial pivoting.
+    pub fn factor(a: Matrix) -> Result<Lu, LuError> {
+        let n = a.n;
+        let mut lu = a.data;
+        let mut pivots = Vec::with_capacity(n);
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut p = k;
+            let mut max = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max == 0.0 {
+                return Err(LuError::Singular { step: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, p * n + c);
+                }
+                sign = -sign;
+            }
+            pivots.push(p);
+
+            // Elimination below the pivot.
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let factor = lu[r * n + k] / pivot;
+                lu[r * n + k] = factor;
+                // Split borrows: the pivot row is disjoint from row r.
+                let (pivot_row, rest) = lu.split_at_mut((k + 1) * n);
+                let pivot_row = &pivot_row[k * n + k + 1..k * n + n];
+                let row_r = &mut rest[(r - k - 1) * n + k + 1..(r - k - 1) * n + n];
+                for (x, &pv) in row_r.iter_mut().zip(pivot_row) {
+                    *x -= factor * pv;
+                }
+            }
+        }
+        Ok(Lu {
+            n,
+            lu,
+            pivots,
+            sign,
+        })
+    }
+
+    /// Solves `Ax = b` given the factorisation.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut x = b.to_vec();
+        // Apply permutation and forward-substitute through L.
+        for k in 0..n {
+            x.swap(k, self.pivots[k]);
+            let xk = x[k];
+            for r in (k + 1)..n {
+                x[r] -= self.lu[r * n + k] * xk;
+            }
+        }
+        // Back-substitute through U.
+        for k in (0..n).rev() {
+            x[k] /= self.lu[k * n + k];
+            let xk = x[k];
+            for r in 0..k {
+                x[r] -= self.lu[r * n + k] * xk;
+            }
+        }
+        x
+    }
+
+    /// The determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for k in 0..self.n {
+            det *= self.lu[k * self.n + k];
+        }
+        det
+    }
+}
+
+/// Result of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinpackReport {
+    /// Problem size `n`.
+    pub n: usize,
+    /// Measured rate in Mflop/s.
+    pub mflops: f64,
+    /// Wall time of factor + solve, seconds.
+    pub seconds: f64,
+    /// Normalised residual `‖Ax − b‖∞ / (n · ‖A‖∞ · ‖x‖∞ · ε)`; the
+    /// classic LINPACK acceptance threshold is a small O(1) number.
+    pub residual: f64,
+}
+
+/// Canonical LINPACK flop count for factor + solve: `2n³/3 + 2n²`.
+pub fn flop_count(n: usize) -> f64 {
+    let nf = n as f64;
+    2.0 * nf * nf * nf / 3.0 + 2.0 * nf * nf
+}
+
+/// Runs the benchmark once at size `n`: generate, factor, solve, verify.
+///
+/// Returns an error if the (deliberately well-conditioned) matrix somehow
+/// factors singular.
+pub fn run_benchmark(n: usize, seed: u64) -> Result<LinpackReport, LuError> {
+    let a = Matrix::linpack(n, seed);
+    let x_true = vec![1.0; n];
+    let b = a.mul_vec(&x_true);
+
+    let verify = a.clone();
+    let start = Instant::now();
+    let lu = Lu::factor(a)?;
+    let x = lu.solve(&b);
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+
+    // ‖Ax − b‖∞ scaled the classic way.
+    let ax = verify.mul_vec(&x);
+    let resid = ax
+        .iter()
+        .zip(&b)
+        .map(|(l, r)| (l - r).abs())
+        .fold(0.0f64, f64::max);
+    let norm_a = (0..n)
+        .map(|r| (0..n).map(|c| verify.at(r, c).abs()).sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let norm_x = x.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let residual = resid / (n as f64 * norm_a * norm_x * f64::EPSILON).max(f64::MIN_POSITIVE);
+
+    Ok(LinpackReport {
+        n,
+        mflops: flop_count(n) / seconds / 1e6,
+        seconds,
+        residual,
+    })
+}
+
+/// Rates the host like the paper rates processors: best of `repeats` runs
+/// at size `n` (first run warms caches).
+pub fn rate_host(n: usize, repeats: usize, seed: u64) -> Result<LinpackReport, LuError> {
+    assert!(repeats >= 1);
+    let mut best: Option<LinpackReport> = None;
+    for i in 0..repeats {
+        let r = run_benchmark(n, seed.wrapping_add(i as u64))?;
+        best = Some(match best {
+            None => r,
+            Some(b) if r.mflops > b.mflops => r,
+            Some(b) => b,
+        });
+    }
+    Ok(best.expect("at least one run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_2x2_system() {
+        // [2 1; 1 3] x = [5; 10]  ⇒  x = [1; 3]
+        let a = Matrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]);
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&[5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        // det([2 1; 1 3]) = 5; det of a permutation-heavy matrix too.
+        let a = Matrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]);
+        assert!((Lu::factor(a).unwrap().determinant() - 5.0).abs() < 1e-12);
+        let p = Matrix::from_rows(2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!((Lu::factor(p).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this would divide by zero immediately.
+        let a = Matrix::from_rows(2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(2, vec![1.0, 2.0, 2.0, 4.0]);
+        let err = Lu::factor(a).unwrap_err();
+        assert_eq!(err, LuError::Singular { step: 1 });
+    }
+
+    #[test]
+    fn random_system_recovers_ones() {
+        for n in [1, 2, 3, 10, 50] {
+            let a = Matrix::linpack(n, 42);
+            let b = a.mul_vec(&vec![1.0; n]);
+            let lu = Lu::factor(a).unwrap();
+            let x = lu.solve(&b);
+            for (i, v) in x.iter().enumerate() {
+                assert!((v - 1.0).abs() < 1e-8, "n={n}, x[{i}]={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn benchmark_reports_sane_numbers() {
+        let r = run_benchmark(100, 7).unwrap();
+        assert_eq!(r.n, 100);
+        assert!(r.mflops > 1.0, "implausibly slow: {} Mflop/s", r.mflops);
+        assert!(r.seconds > 0.0);
+        assert!(
+            r.residual < 100.0,
+            "residual {} fails the LINPACK acceptance test",
+            r.residual
+        );
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(flop_count(0), 0.0);
+        // n = 3: 2·27/3 + 2·9 = 18 + 18 = 36.
+        assert!((flop_count(3) - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_host_takes_best() {
+        let r = rate_host(80, 3, 11).unwrap();
+        assert!(r.mflops > 0.0);
+    }
+
+    #[test]
+    fn deterministic_matrix_generation() {
+        assert_eq!(Matrix::linpack(16, 3), Matrix::linpack(16, 3));
+        assert_ne!(Matrix::linpack(16, 3), Matrix::linpack(16, 4));
+    }
+}

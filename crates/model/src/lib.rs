@@ -1,0 +1,44 @@
+//! Domain model for heterogeneous distributed task scheduling.
+//!
+//! This crate defines the vocabulary shared by the PN scheduler
+//! (`dts-core`), the six baseline schedulers (`dts-schedulers`), and the
+//! discrete-event simulator (`dts-sim`):
+//!
+//! * [`time::SimTime`] — simulated seconds with a total order usable in an
+//!   event queue.
+//! * [`task::Task`] — an indivisible, independent task whose resource
+//!   requirement is measured in MFLOPs (millions of floating-point
+//!   operations), exactly as in the paper (§3).
+//! * [`processor`] — heterogeneous processors rated in Mflop/s with
+//!   time-varying availability models (the paper's "processors are not
+//!   dedicated" assumption).
+//! * [`link`] — client↔scheduler communication links with per-link random
+//!   mean costs and per-message jitter (§4.3).
+//! * [`cluster`] — generators for whole heterogeneous clusters.
+//! * [`workload`] — task-set generators for the uniform / normal / Poisson
+//!   workloads of §4.3–§4.5 plus dynamic arrival processes.
+//! * [`smoothing`] — the exponential smoothing function Γ of §3.6.
+//! * [`sched`] — the [`sched::Scheduler`] trait implemented by all seven
+//!   schedulers and consumed by the simulator, together with the
+//!   [`sched::TaskQueues`] bookkeeping helper.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod link;
+pub mod processor;
+pub mod sched;
+pub mod smoothing;
+pub mod task;
+pub mod time;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterSpec};
+pub use link::{CommCostSpec, Link};
+pub use processor::{AvailabilityModel, AvailabilityState, Processor, ProcessorId};
+pub use sched::{PlanOutcome, Scheduler, SchedulerMode, SystemView, TaskQueues};
+pub use smoothing::Smoother;
+pub use task::{Task, TaskId};
+pub use time::SimTime;
+pub use workload::{ArrivalProcess, SizeDistribution, WorkloadSpec};

@@ -1,0 +1,312 @@
+//! Heterogeneous, non-dedicated processors.
+//!
+//! Per §3: "The available processing resources, or execution rate, of each
+//! processor is measured in MFLOPs per second … The execution rate is
+//! measured using Dongarra's Linpack benchmark", and "the availability of
+//! each processor can vary over time (processors are not dedicated and may
+//! have other tasks that partially use their resources)".
+//!
+//! A [`Processor`] couples a fixed Linpack **rating** (peak Mflop/s) with an
+//! [`AvailabilityModel`] describing what fraction of that rating is
+//! deliverable at any moment. The simulator evolves an
+//! [`AvailabilityState`] per processor through piecewise-constant steps, so
+//! task completion times can be integrated exactly.
+
+use dts_distributions::{Prng, Rng};
+
+/// Identifier of a processor: a dense index into the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessorId(pub u16);
+
+impl ProcessorId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// How a processor's availability fraction α(t) ∈ (0, 1] evolves.
+///
+/// Availability multiplies the rated Mflop/s: a 200 Mflop/s machine at
+/// α = 0.25 delivers 50 Mflop/s to the scheduler's tasks. All models are
+/// piecewise constant so the simulator can integrate work exactly between
+/// change points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AvailabilityModel {
+    /// Fully dedicated: α = 1 forever. The setting of the paper's §4
+    /// experiments ("each processor was assumed to have a fixed execution
+    /// rate").
+    Dedicated,
+    /// Constant partial availability: α = `fraction` forever.
+    Fixed {
+        /// The constant availability fraction, in (0, 1].
+        fraction: f64,
+    },
+    /// A bounded random walk: every `period` seconds α moves by a uniform
+    /// step in `[-step, +step]`, clamped to `[min, max]`. Models background
+    /// load from other users of a non-dedicated machine.
+    RandomWalk {
+        /// Lower clamp for α (> 0: a machine never vanishes entirely).
+        min: f64,
+        /// Upper clamp for α (≤ 1).
+        max: f64,
+        /// Maximum magnitude of one step.
+        step: f64,
+        /// Seconds between steps.
+        period: f64,
+    },
+    /// Deterministic diurnal pattern: α alternates between `high` (for
+    /// `high_secs`) and `low` (for `low_secs`). Models interactive machines
+    /// that are busy during the day and free at night.
+    TwoLevel {
+        /// Availability during the high phase.
+        high: f64,
+        /// Availability during the low phase.
+        low: f64,
+        /// Duration of the high phase in seconds.
+        high_secs: f64,
+        /// Duration of the low phase in seconds.
+        low_secs: f64,
+    },
+}
+
+impl AvailabilityModel {
+    /// Creates the initial state for this model.
+    ///
+    /// `seed` individualises stochastic models per processor; deterministic
+    /// models ignore it.
+    pub fn initial_state(&self, seed: u64) -> AvailabilityState {
+        let alpha = match self {
+            AvailabilityModel::Dedicated => 1.0,
+            AvailabilityModel::Fixed { fraction } => {
+                assert!(
+                    *fraction > 0.0 && *fraction <= 1.0,
+                    "fixed availability {fraction} outside (0,1]"
+                );
+                *fraction
+            }
+            AvailabilityModel::RandomWalk { min, max, .. } => {
+                assert!(*min > 0.0 && min <= max && *max <= 1.0);
+                0.5 * (min + max)
+            }
+            AvailabilityModel::TwoLevel { high, .. } => *high,
+        };
+        AvailabilityState {
+            alpha,
+            rng: Prng::seed_from(seed),
+            phase_high: true,
+        }
+    }
+
+    /// Seconds until the next change point, or `None` for static models.
+    pub fn change_interval(&self, state: &AvailabilityState) -> Option<f64> {
+        match self {
+            AvailabilityModel::Dedicated | AvailabilityModel::Fixed { .. } => None,
+            AvailabilityModel::RandomWalk { period, .. } => Some(*period),
+            AvailabilityModel::TwoLevel {
+                high_secs,
+                low_secs,
+                ..
+            } => Some(if state.phase_high {
+                *high_secs
+            } else {
+                *low_secs
+            }),
+        }
+    }
+
+    /// Advances the state across one change point and returns the new α.
+    pub fn step(&self, state: &mut AvailabilityState) -> f64 {
+        match self {
+            AvailabilityModel::Dedicated | AvailabilityModel::Fixed { .. } => {}
+            AvailabilityModel::RandomWalk {
+                min, max, step, ..
+            } => {
+                let delta = state.rng.range_f64(-*step, *step);
+                state.alpha = (state.alpha + delta).clamp(*min, *max);
+            }
+            AvailabilityModel::TwoLevel { high, low, .. } => {
+                state.phase_high = !state.phase_high;
+                state.alpha = if state.phase_high { *high } else { *low };
+            }
+        }
+        state.alpha
+    }
+}
+
+/// Mutable per-processor availability state evolved by the simulator.
+#[derive(Debug, Clone)]
+pub struct AvailabilityState {
+    alpha: f64,
+    rng: Prng,
+    phase_high: bool,
+}
+
+impl AvailabilityState {
+    /// The current availability fraction α ∈ (0, 1].
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// A processor of the distributed system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Processor {
+    /// Dense identifier.
+    pub id: ProcessorId,
+    /// Peak execution rate in Mflop/s, as measured by the Linpack benchmark.
+    pub rated_mflops: f64,
+    /// Availability dynamics.
+    pub availability: AvailabilityModel,
+}
+
+impl Processor {
+    /// Creates a dedicated processor with the given rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rating is not finite and positive.
+    pub fn dedicated(id: ProcessorId, rated_mflops: f64) -> Self {
+        Self::new(id, rated_mflops, AvailabilityModel::Dedicated)
+    }
+
+    /// Creates a processor with an explicit availability model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rating is not finite and positive.
+    pub fn new(id: ProcessorId, rated_mflops: f64, availability: AvailabilityModel) -> Self {
+        assert!(
+            rated_mflops.is_finite() && rated_mflops > 0.0,
+            "processor {id} has invalid rating {rated_mflops}"
+        );
+        Self {
+            id,
+            rated_mflops,
+            availability,
+        }
+    }
+
+    /// The rate delivered at availability fraction `alpha`.
+    #[inline]
+    pub fn effective_rate(&self, alpha: f64) -> f64 {
+        self.rated_mflops * alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_is_always_full() {
+        let m = AvailabilityModel::Dedicated;
+        let mut s = m.initial_state(1);
+        assert_eq!(s.alpha(), 1.0);
+        assert_eq!(m.change_interval(&s), None);
+        assert_eq!(m.step(&mut s), 1.0);
+    }
+
+    #[test]
+    fn fixed_fraction() {
+        let m = AvailabilityModel::Fixed { fraction: 0.4 };
+        let mut s = m.initial_state(1);
+        assert_eq!(s.alpha(), 0.4);
+        assert_eq!(m.step(&mut s), 0.4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fixed_fraction_validated() {
+        let m = AvailabilityModel::Fixed { fraction: 1.5 };
+        let _ = m.initial_state(1);
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let m = AvailabilityModel::RandomWalk {
+            min: 0.2,
+            max: 0.9,
+            step: 0.3,
+            period: 10.0,
+        };
+        let mut s = m.initial_state(99);
+        assert_eq!(m.change_interval(&s), Some(10.0));
+        for _ in 0..10_000 {
+            let a = m.step(&mut s);
+            assert!((0.2..=0.9).contains(&a), "alpha {a} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let m = AvailabilityModel::RandomWalk {
+            min: 0.1,
+            max: 1.0,
+            step: 0.2,
+            period: 1.0,
+        };
+        let mut s = m.initial_state(7);
+        let a0 = s.alpha();
+        let mut moved = false;
+        for _ in 0..20 {
+            if (m.step(&mut s) - a0).abs() > 1e-12 {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved);
+    }
+
+    #[test]
+    fn random_walk_deterministic_per_seed() {
+        let m = AvailabilityModel::RandomWalk {
+            min: 0.1,
+            max: 1.0,
+            step: 0.2,
+            period: 1.0,
+        };
+        let mut s1 = m.initial_state(5);
+        let mut s2 = m.initial_state(5);
+        for _ in 0..100 {
+            assert_eq!(m.step(&mut s1), m.step(&mut s2));
+        }
+    }
+
+    #[test]
+    fn two_level_alternates() {
+        let m = AvailabilityModel::TwoLevel {
+            high: 1.0,
+            low: 0.25,
+            high_secs: 60.0,
+            low_secs: 30.0,
+        };
+        let mut s = m.initial_state(1);
+        assert_eq!(s.alpha(), 1.0);
+        assert_eq!(m.change_interval(&s), Some(60.0));
+        assert_eq!(m.step(&mut s), 0.25);
+        assert_eq!(m.change_interval(&s), Some(30.0));
+        assert_eq!(m.step(&mut s), 1.0);
+    }
+
+    #[test]
+    fn effective_rate() {
+        let p = Processor::dedicated(ProcessorId(0), 200.0);
+        assert_eq!(p.effective_rate(1.0), 200.0);
+        assert_eq!(p.effective_rate(0.25), 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rating_rejected() {
+        let _ = Processor::dedicated(ProcessorId(0), 0.0);
+    }
+}

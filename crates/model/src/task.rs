@@ -1,0 +1,156 @@
+//! Tasks: the unit of work.
+//!
+//! Per §3 of the paper, tasks are **indivisible**, **independent of all
+//! other tasks**, **arrive randomly**, and can be processed by any processor
+//! in the distributed system. Each task has a resource requirement measured
+//! in MFLOPs (millions of floating-point operations); a processor rated at
+//! `P` Mflop/s completes a `t`-MFLOP task in `t / P` seconds when fully
+//! available.
+
+use crate::time::SimTime;
+
+/// Identifier of a task: an index into the run's task table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// An indivisible unit of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Unique identifier (dense, 0-based).
+    pub id: TaskId,
+    /// Resource requirement in MFLOPs; always finite and > 0.
+    pub mflops: f64,
+    /// When the task becomes visible to the scheduler.
+    pub arrival: SimTime,
+}
+
+impl Task {
+    /// Creates a task, validating that the size is positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite size — workload generators
+    /// are responsible for truncating their distributions (see
+    /// [`crate::workload`]).
+    pub fn new(id: TaskId, mflops: f64, arrival: SimTime) -> Self {
+        assert!(
+            mflops.is_finite() && mflops > 0.0,
+            "task {id} has invalid size {mflops}"
+        );
+        Self {
+            id,
+            mflops,
+            arrival,
+        }
+    }
+
+    /// Seconds needed on a processor delivering `rate` Mflop/s.
+    ///
+    /// Guards against zero/negative rates by returning `f64::INFINITY`,
+    /// which naturally makes a dead processor the worst choice in every
+    /// scheduler's cost comparison.
+    #[inline]
+    pub fn runtime_at(&self, rate: f64) -> f64 {
+        if rate > 0.0 {
+            self.mflops / rate
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Summary statistics over a set of tasks, used by schedulers and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSetStats {
+    /// Number of tasks.
+    pub count: usize,
+    /// Sum of all sizes in MFLOPs.
+    pub total_mflops: f64,
+    /// Smallest task size.
+    pub min_mflops: f64,
+    /// Largest task size.
+    pub max_mflops: f64,
+}
+
+/// Computes [`TaskSetStats`] for a slice of tasks.
+pub fn task_set_stats(tasks: &[Task]) -> TaskSetStats {
+    let mut total = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for t in tasks {
+        total += t.mflops;
+        min = min.min(t.mflops);
+        max = max.max(t.mflops);
+    }
+    TaskSetStats {
+        count: tasks.len(),
+        total_mflops: total,
+        min_mflops: min,
+        max_mflops: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_scales_inversely_with_rate() {
+        let t = Task::new(TaskId(0), 1000.0, SimTime::ZERO);
+        assert_eq!(t.runtime_at(100.0), 10.0);
+        assert_eq!(t.runtime_at(200.0), 5.0);
+    }
+
+    #[test]
+    fn zero_rate_is_infinite_runtime() {
+        let t = Task::new(TaskId(0), 1000.0, SimTime::ZERO);
+        assert_eq!(t.runtime_at(0.0), f64::INFINITY);
+        assert_eq!(t.runtime_at(-5.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = Task::new(TaskId(0), 0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_size_rejected() {
+        let _ = Task::new(TaskId(0), f64::NAN, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats() {
+        let tasks = vec![
+            Task::new(TaskId(0), 10.0, SimTime::ZERO),
+            Task::new(TaskId(1), 30.0, SimTime::ZERO),
+            Task::new(TaskId(2), 20.0, SimTime::ZERO),
+        ];
+        let s = task_set_stats(&tasks);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_mflops, 60.0);
+        assert_eq!(s.min_mflops, 10.0);
+        assert_eq!(s.max_mflops, 30.0);
+    }
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(TaskId(7).to_string(), "T7");
+        assert_eq!(TaskId(7).index(), 7);
+    }
+}

@@ -1,0 +1,166 @@
+//! Simulated time.
+//!
+//! A thin wrapper over `f64` seconds that provides the total order needed by
+//! the simulator's event queue. `SimTime` values are never NaN by
+//! construction; all constructors assert finiteness.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// ```
+/// use dts_model::SimTime;
+/// let t = SimTime::ZERO + 2.5;
+/// assert_eq!(t.seconds(), 2.5);
+/// assert!(t < SimTime::new(3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The simulation epoch, t = 0.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// A time later than every reachable event; used as a sentinel deadline.
+    pub const FAR_FUTURE: SimTime = SimTime(f64::MAX);
+
+    /// Creates a time point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is NaN or negative (simulated time starts at 0).
+    #[inline]
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds >= 0.0 && !seconds.is_nan(),
+            "invalid simulation time {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// The raw number of seconds.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// `self − earlier` in seconds; saturates at 0 rather than going
+    /// negative, which protects duration arithmetic from rounding jitter.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // NaN is excluded by construction, so total_cmp == IEEE order here.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, dt: f64) -> SimTime {
+        debug_assert!(dt >= 0.0, "cannot schedule into the past (dt = {dt})");
+        SimTime(self.0 + dt.max(0.0))
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(SimTime::ZERO.min(SimTime::FAR_FUTURE), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(10.0) + 5.0;
+        assert_eq!(t.seconds(), 15.0);
+        assert_eq!(t - SimTime::new(10.0), 5.0);
+        assert_eq!(t.since(SimTime::new(20.0)), 0.0, "since saturates");
+        let mut u = SimTime::ZERO;
+        u += 2.0;
+        assert_eq!(u.seconds(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rejected() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::new(1.5).to_string(), "1.500000s");
+    }
+}

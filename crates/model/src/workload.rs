@@ -1,0 +1,310 @@
+//! Workload generation: random task sets with configurable size
+//! distributions and arrival processes.
+//!
+//! §4 of the paper: "Our task sizes are randomly generated using uniform,
+//! normal, and Poisson distributions. By using different random
+//! distributions, we can demonstrate the flexibility of our scheduling
+//! algorithm." The concrete parameterisations reproduced here:
+//!
+//! * Figs. 5–6: `Normal(μ = 1000 MFLOPs, σ² = 9·10⁵)`
+//! * Fig. 7:    `Uniform[10, 1000)`
+//! * Fig. 8:    `Uniform[10, 100)`
+//! * Fig. 9:    `Uniform[10, 10000)`
+//! * Fig. 10:   `Poisson(λ = 10)`
+//! * Fig. 11:   `Poisson(λ = 100)`
+//!
+//! In the paper's experiments "all of the tasks arrived for scheduling at
+//! the beginning of the simulation" (§4.2); [`ArrivalProcess`] additionally
+//! supports Poisson and uniform streams for the dynamic scenarios exercised
+//! by the examples and integration tests.
+
+use dts_distributions::{
+    Constant, Distribution, DistributionExt, Exponential, Normal, Poisson, Prng, Rng,
+    SeedSequence, Uniform,
+};
+
+use crate::task::{Task, TaskId};
+use crate::time::SimTime;
+
+/// Floor applied to every generated task size, in MFLOPs.
+///
+/// The paper's normal workload (μ=1000, σ²=9·10⁵ ⇒ σ≈949) has ~15 % of its
+/// mass below zero; a Poisson(10) draw can be exactly 0. Sizes are redrawn
+/// until positive (clamped after 64 attempts), so every task carries real
+/// work.
+pub const MIN_TASK_MFLOPS: f64 = 1.0;
+
+/// Task-size (or rating) distribution, serialisable-by-hand configuration
+/// enum mirroring §4's workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeDistribution {
+    /// Every sample equals `value`.
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Normal with the paper's mean/variance parameterisation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Variance (σ², not σ).
+        variance: f64,
+    },
+    /// Poisson with mean `lambda`.
+    Poisson {
+        /// Mean (= variance) of the distribution.
+        lambda: f64,
+    },
+}
+
+impl SizeDistribution {
+    /// Materialises the boxed sampler.
+    pub fn to_distribution(&self) -> Box<dyn Distribution> {
+        match *self {
+            SizeDistribution::Constant { value } => Box::new(Constant(value)),
+            SizeDistribution::Uniform { lo, hi } => {
+                Box::new(Uniform::new(lo, hi).expect("invalid uniform bounds"))
+            }
+            SizeDistribution::Normal { mean, variance } => {
+                Box::new(Normal::from_variance(mean, variance).expect("invalid normal params"))
+            }
+            SizeDistribution::Poisson { lambda } => {
+                Box::new(Poisson::new(lambda).expect("invalid poisson lambda"))
+            }
+        }
+    }
+
+    /// Analytic mean of the distribution (before truncation).
+    pub fn mean(&self) -> f64 {
+        self.to_distribution().mean()
+    }
+
+    /// Short human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            SizeDistribution::Constant { value } => format!("const({value})"),
+            SizeDistribution::Uniform { lo, hi } => format!("uniform[{lo},{hi})"),
+            SizeDistribution::Normal { mean, variance } => {
+                format!("normal(mu={mean},var={variance:.0})")
+            }
+            SizeDistribution::Poisson { lambda } => format!("poisson({lambda})"),
+        }
+    }
+}
+
+/// When tasks become visible to the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Everything arrives at t = 0 — the paper's experimental setting.
+    AllAtStart,
+    /// A Poisson stream: exponential inter-arrival times with the given
+    /// mean, in seconds.
+    PoissonStream {
+        /// Mean inter-arrival gap in seconds.
+        mean_interarrival: f64,
+    },
+    /// Arrival times drawn uniformly over `[0, window)` seconds.
+    UniformOver {
+        /// Length of the arrival window in seconds.
+        window: f64,
+    },
+}
+
+/// Declarative description of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of tasks to generate.
+    pub count: usize,
+    /// Size distribution (MFLOPs per task).
+    pub sizes: SizeDistribution,
+    /// Arrival process.
+    pub arrival: ArrivalProcess,
+}
+
+impl WorkloadSpec {
+    /// Batch workload (all tasks at t=0), matching §4.2.
+    pub fn batch(count: usize, sizes: SizeDistribution) -> Self {
+        Self {
+            count,
+            sizes,
+            arrival: ArrivalProcess::AllAtStart,
+        }
+    }
+
+    /// Generates the task set. Identical `(spec, seed)` pairs generate
+    /// identical task sets; tasks are sorted by arrival time and densely
+    /// numbered in that order.
+    pub fn generate(&self, seed: u64) -> Vec<Task> {
+        let mut seq = SeedSequence::new(seed);
+        let mut size_rng = Prng::seed_from(seq.next_seed());
+        let mut arrival_rng = Prng::seed_from(seq.next_seed());
+        let dist = self.sizes.to_distribution();
+
+        let mut arrivals: Vec<f64> = match &self.arrival {
+            ArrivalProcess::AllAtStart => vec![0.0; self.count],
+            ArrivalProcess::PoissonStream { mean_interarrival } => {
+                let exp = Exponential::from_mean(*mean_interarrival)
+                    .expect("invalid mean inter-arrival time");
+                let mut t = 0.0;
+                (0..self.count)
+                    .map(|_| {
+                        t += exp.sample_rng(&mut arrival_rng);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::UniformOver { window } => {
+                assert!(*window > 0.0, "arrival window must be positive");
+                (0..self.count)
+                    .map(|_| arrival_rng.range_f64(0.0, *window))
+                    .collect()
+            }
+        };
+        arrivals.sort_by(|a, b| a.partial_cmp(b).expect("arrival times are finite"));
+
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, at)| {
+                let mflops = draw_positive_size(dist.as_ref(), &mut size_rng);
+                Task::new(
+                    TaskId(u32::try_from(i).expect("more than u32::MAX tasks")),
+                    mflops,
+                    SimTime::new(at),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Draws one size, redrawing until it clears [`MIN_TASK_MFLOPS`]
+/// (64-attempt cap, then clamps).
+fn draw_positive_size(dist: &dyn Distribution, rng: &mut Prng) -> f64 {
+    for _ in 0..64 {
+        let x = dist.sample_rng(rng);
+        if x.is_finite() && x >= MIN_TASK_MFLOPS {
+            return x;
+        }
+    }
+    MIN_TASK_MFLOPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_distributions::OnlineStats;
+
+    #[test]
+    fn batch_arrivals_all_zero() {
+        let spec = WorkloadSpec::batch(100, SizeDistribution::Uniform { lo: 10.0, hi: 100.0 });
+        let tasks = spec.generate(1);
+        assert_eq!(tasks.len(), 100);
+        assert!(tasks.iter().all(|t| t.arrival == SimTime::ZERO));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let spec = WorkloadSpec {
+            count: 50,
+            sizes: SizeDistribution::Constant { value: 5.0 },
+            arrival: ArrivalProcess::PoissonStream {
+                mean_interarrival: 2.0,
+            },
+        };
+        let tasks = spec.generate(2);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id.index(), i);
+        }
+        for w in tasks.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival, "sorted by arrival");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::batch(
+            200,
+            SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
+        );
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn normal_workload_truncated_positive() {
+        // The paper's parameters put ~15 % of the untruncated mass below 0.
+        let spec = WorkloadSpec::batch(
+            5000,
+            SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
+        );
+        let tasks = spec.generate(3);
+        assert!(tasks.iter().all(|t| t.mflops >= MIN_TASK_MFLOPS));
+        let stats: OnlineStats = tasks.iter().map(|t| t.mflops).collect();
+        // Truncation raises the mean above 1000; it must stay in a sane band.
+        assert!(stats.mean() > 1000.0 && stats.mean() < 1500.0, "{}", stats.mean());
+    }
+
+    #[test]
+    fn poisson_workload_positive_integers() {
+        let spec = WorkloadSpec::batch(2000, SizeDistribution::Poisson { lambda: 10.0 });
+        let tasks = spec.generate(4);
+        for t in &tasks {
+            assert!(t.mflops >= 1.0);
+            assert_eq!(t.mflops.fract(), 0.0, "poisson sizes are integers");
+        }
+    }
+
+    #[test]
+    fn uniform_workload_respects_bounds() {
+        let spec = WorkloadSpec::batch(2000, SizeDistribution::Uniform { lo: 10.0, hi: 10000.0 });
+        let tasks = spec.generate(5);
+        for t in &tasks {
+            assert!((10.0..10000.0).contains(&t.mflops));
+        }
+    }
+
+    #[test]
+    fn uniform_over_window() {
+        let spec = WorkloadSpec {
+            count: 500,
+            sizes: SizeDistribution::Constant { value: 5.0 },
+            arrival: ArrivalProcess::UniformOver { window: 100.0 },
+        };
+        let tasks = spec.generate(6);
+        assert!(tasks.iter().all(|t| t.arrival.seconds() < 100.0));
+        assert!(tasks.iter().any(|t| t.arrival.seconds() > 1.0));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            SizeDistribution::Uniform { lo: 10.0, hi: 100.0 }.label(),
+            "uniform[10,100)"
+        );
+        assert!(SizeDistribution::Poisson { lambda: 10.0 }
+            .label()
+            .contains("poisson"));
+    }
+
+    #[test]
+    fn mean_passthrough() {
+        assert_eq!(SizeDistribution::Constant { value: 3.0 }.mean(), 3.0);
+        assert_eq!(
+            SizeDistribution::Uniform { lo: 0.0, hi: 10.0 }.mean(),
+            5.0
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the domain model: smoothing, queues, availability,
+//! links, and workload generation.
+
+use dts_distributions::Prng;
+use dts_model::{
+    AvailabilityModel, CommCostSpec, Link, ProcessorId, SimTime, Smoother, Task, TaskId,
+    TaskQueues,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Γ stays inside the convex hull of its observations (it is a convex
+    /// combination at every step).
+    #[test]
+    fn smoother_stays_in_hull(
+        nu in 0.0..=1.0f64,
+        xs in proptest::collection::vec(-1e6..1e6f64, 1..100),
+    ) {
+        let mut s = Smoother::new(nu);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &x in &xs {
+            let v = s.observe(x);
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} escaped [{lo}, {hi}]");
+        }
+    }
+
+    /// Γ with ν = 1 equals the last observation; ν = 0 the first.
+    #[test]
+    fn smoother_extremes(xs in proptest::collection::vec(-1e6..1e6f64, 1..50)) {
+        let mut track = Smoother::new(1.0);
+        let mut freeze = Smoother::new(0.0);
+        for &x in &xs {
+            track.observe(x);
+            freeze.observe(x);
+        }
+        // ν = 1 computes prev + (x − prev), which equals x only up to
+        // floating-point cancellation; compare with a relative tolerance.
+        let last = *xs.last().unwrap();
+        let tracked = track.value().unwrap();
+        prop_assert!((tracked - last).abs() <= 1e-9 * (1.0 + last.abs()),
+            "{} vs {}", tracked, last);
+        prop_assert_eq!(freeze.value(), xs.first().copied());
+    }
+
+    /// TaskQueues: any push/pop interleaving keeps counts and MFLOPs
+    /// consistent.
+    #[test]
+    fn task_queues_consistent(
+        ops in proptest::collection::vec((0u16..4, 1.0..1000.0f64, prop::bool::ANY), 1..200),
+    ) {
+        let mut q = TaskQueues::new(4);
+        let mut shadow: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        let mut next_id = 0u32;
+        for (p, size, push) in ops {
+            let pid = ProcessorId(p);
+            if push {
+                q.push(pid, Task::new(TaskId(next_id), size, SimTime::ZERO));
+                shadow[p as usize].push(size);
+                next_id += 1;
+            } else if let Some(t) = q.pop(pid) {
+                let expect = shadow[p as usize].remove(0);
+                prop_assert_eq!(t.mflops, expect, "FIFO order broken");
+            } else {
+                prop_assert!(shadow[p as usize].is_empty());
+            }
+            for j in 0..4 {
+                let pid = ProcessorId(j as u16);
+                prop_assert_eq!(q.queued_len(pid), shadow[j].len());
+                let expect: f64 = shadow[j].iter().sum();
+                prop_assert!((q.queued_mflops(pid) - expect).abs() < 1e-6 * expect.max(1.0));
+            }
+        }
+        prop_assert_eq!(q.total_len(), shadow.iter().map(Vec::len).sum::<usize>());
+    }
+
+    /// Availability models never leave (0, 1] and their change intervals
+    /// are positive.
+    #[test]
+    fn availability_bounded(
+        which in 0usize..4,
+        seed in 0u64..u64::MAX,
+        steps in 1usize..200,
+    ) {
+        let model = match which {
+            0 => AvailabilityModel::Dedicated,
+            1 => AvailabilityModel::Fixed { fraction: 0.5 },
+            2 => AvailabilityModel::RandomWalk { min: 0.2, max: 0.9, step: 0.3, period: 5.0 },
+            _ => AvailabilityModel::TwoLevel { high: 1.0, low: 0.25, high_secs: 10.0, low_secs: 5.0 },
+        };
+        let mut state = model.initial_state(seed);
+        prop_assert!(state.alpha() > 0.0 && state.alpha() <= 1.0);
+        for _ in 0..steps {
+            if let Some(dt) = model.change_interval(&state) {
+                prop_assert!(dt > 0.0);
+            }
+            let a = model.step(&mut state);
+            prop_assert!(a > 0.0 && a <= 1.0, "alpha {a} out of range");
+        }
+    }
+
+    /// Message costs are non-negative, and zero-mean links are free.
+    #[test]
+    fn link_costs_nonnegative(mean in 0.0..500.0f64, jitter in 0.0..0.5f64, seed in 0u64..u64::MAX) {
+        let link = Link::new(ProcessorId(0), mean, jitter);
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..32 {
+            let c = link.sample_cost(&mut rng);
+            prop_assert!(c >= 0.0);
+            if mean == 0.0 {
+                prop_assert_eq!(c, 0.0);
+            }
+        }
+    }
+
+    /// Per-link means drawn from a spec are positive whenever the global
+    /// mean is.
+    #[test]
+    fn link_mean_positive(mean in 0.001..500.0f64, seed in 0u64..u64::MAX) {
+        let spec = CommCostSpec::with_mean(mean);
+        let mut rng = Prng::seed_from(seed);
+        for _ in 0..16 {
+            prop_assert!(spec.draw_link_mean(&mut rng) > 0.0);
+        }
+    }
+}

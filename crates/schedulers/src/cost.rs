@@ -1,0 +1,55 @@
+//! Decision-cost accounting for the heuristic schedulers.
+//!
+//! The simulator charges every scheduler's planning time against the
+//! dedicated scheduler host. The heuristics are orders of magnitude cheaper
+//! than the GA, but not free; their worst-case complexities are stated in
+//! §4.1 and modelled here with per-operation constants measured on a
+//! release build.
+
+/// Seconds per elementary scheduling operation (one comparison across a
+/// candidate processor, one sort step, one queue append).
+pub const SECONDS_PER_OP: f64 = 2e-8;
+
+/// Cost of `n` immediate-mode decisions over `m` processors (EF/LL: Θ(M)
+/// per task).
+#[inline]
+pub fn immediate_scan_cost(n: usize, m: usize) -> f64 {
+    SECONDS_PER_OP * n as f64 * m as f64
+}
+
+/// Cost of `n` round-robin decisions (Θ(1) per task).
+#[inline]
+pub fn round_robin_cost(n: usize) -> f64 {
+    SECONDS_PER_OP * n as f64
+}
+
+/// Cost of a sorted-batch heuristic over `n` tasks and `m` processors
+/// (MM/MX: Θ(max(M, n log n)) for the sort plus an EF scan per task).
+#[inline]
+pub fn sorted_batch_cost(n: usize, m: usize) -> f64 {
+    let n_f = n as f64;
+    let sort = if n > 1 { n_f * n_f.log2() } else { 0.0 };
+    SECONDS_PER_OP * (sort + n_f * m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_as_documented() {
+        let expect = 10.0 * 50.0 * SECONDS_PER_OP;
+        assert!((immediate_scan_cost(10, 50) - expect).abs() < 1e-18);
+        assert_eq!(round_robin_cost(10), 10.0 * SECONDS_PER_OP);
+        assert!(sorted_batch_cost(1000, 50) > immediate_scan_cost(1000, 50));
+        assert_eq!(sorted_batch_cost(0, 50), 0.0);
+        assert_eq!(sorted_batch_cost(1, 50), SECONDS_PER_OP * 50.0);
+    }
+
+    #[test]
+    fn heuristics_are_cheap() {
+        // Even a 10,000-task batch over 50 processors costs < 50 ms of
+        // scheduler-host time — far below the GA's budget.
+        assert!(sorted_batch_cost(10_000, 50) < 0.05);
+    }
+}

@@ -1,0 +1,343 @@
+//! The three immediate-mode schedulers (§4.1): EF, LL, RR.
+//!
+//! "An immediate mode scheduler only considers a single task for scheduling
+//! on a FCFS basis." Each `plan` call drains the whole unscheduled queue
+//! one task at a time — matching how an immediate scheduler reacts the
+//! moment a task arrives — and charges the per-decision cost model.
+
+use std::collections::VecDeque;
+
+use dts_model::{
+    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
+};
+
+use crate::cost::{immediate_scan_cost, round_robin_cost};
+
+/// Shared queue state of the immediate-mode schedulers.
+struct ImmediateBase {
+    unscheduled: VecDeque<Task>,
+    queues: TaskQueues,
+}
+
+impl ImmediateBase {
+    fn new(n_procs: usize) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        Self {
+            unscheduled: VecDeque::new(),
+            queues: TaskQueues::new(n_procs),
+        }
+    }
+
+    /// Load visible for processor `p`: queued at the scheduler plus
+    /// in-flight, in MFLOPs.
+    fn load(&self, view: &SystemView, p: usize) -> f64 {
+        self.queues.queued_mflops(ProcessorId(p as u16)) + view.processors[p].inflight_mflops
+    }
+}
+
+/// EF — earliest finish.
+///
+/// "When a task is presented for processing, the scheduler considers the
+/// existing load on each processor and allocates the task to the processor
+/// which will finish processing it the earliest."
+pub struct EarliestFinish {
+    base: ImmediateBase,
+}
+
+impl EarliestFinish {
+    /// Creates an EF scheduler for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        Self {
+            base: ImmediateBase::new(n_procs),
+        }
+    }
+}
+
+impl Scheduler for EarliestFinish {
+    fn name(&self) -> &'static str {
+        "EF"
+    }
+    fn mode(&self) -> SchedulerMode {
+        SchedulerMode::Immediate
+    }
+    fn enqueue(&mut self, tasks: &[Task]) {
+        self.base.unscheduled.extend(tasks.iter().copied());
+    }
+    fn unscheduled_len(&self) -> usize {
+        self.base.unscheduled.len()
+    }
+
+    fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+        let m = view.processors.len();
+        let n = self.base.unscheduled.len();
+        while let Some(task) = self.base.unscheduled.pop_front() {
+            let mut best = 0usize;
+            let mut best_finish = f64::INFINITY;
+            for (j, p) in view.processors.iter().enumerate() {
+                let rate = p.rate_estimate.max(1e-9);
+                let finish = (self.base.load(view, j) + task.mflops) / rate;
+                if finish < best_finish {
+                    best_finish = finish;
+                    best = j;
+                }
+            }
+            self.base.queues.push(ProcessorId(best as u16), task);
+        }
+        PlanOutcome {
+            tasks_assigned: n,
+            compute_seconds: immediate_scan_cost(n, m),
+            generations: 0,
+        }
+    }
+
+    fn next_task_for(&mut self, p: ProcessorId) -> Option<Task> {
+        self.base.queues.pop(p)
+    }
+    fn queued_len(&self, p: ProcessorId) -> usize {
+        self.base.queues.queued_len(p)
+    }
+    fn queued_mflops(&self, p: ProcessorId) -> f64 {
+        self.base.queues.queued_mflops(p)
+    }
+}
+
+/// LL — lightest loaded.
+///
+/// "Allocates tasks to the processor with the lowest current load, measured
+/// in our case as MFLOPs. It does not consider the size of a task when
+/// scheduling it" — nor the processors' speeds, which is what separates it
+/// from EF on heterogeneous clusters.
+pub struct LightestLoaded {
+    base: ImmediateBase,
+}
+
+impl LightestLoaded {
+    /// Creates an LL scheduler for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        Self {
+            base: ImmediateBase::new(n_procs),
+        }
+    }
+}
+
+impl Scheduler for LightestLoaded {
+    fn name(&self) -> &'static str {
+        "LL"
+    }
+    fn mode(&self) -> SchedulerMode {
+        SchedulerMode::Immediate
+    }
+    fn enqueue(&mut self, tasks: &[Task]) {
+        self.base.unscheduled.extend(tasks.iter().copied());
+    }
+    fn unscheduled_len(&self) -> usize {
+        self.base.unscheduled.len()
+    }
+
+    fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+        let m = view.processors.len();
+        let n = self.base.unscheduled.len();
+        while let Some(task) = self.base.unscheduled.pop_front() {
+            let mut best = 0usize;
+            let mut best_load = f64::INFINITY;
+            for j in 0..m {
+                let load = self.base.load(view, j);
+                if load < best_load {
+                    best_load = load;
+                    best = j;
+                }
+            }
+            self.base.queues.push(ProcessorId(best as u16), task);
+        }
+        PlanOutcome {
+            tasks_assigned: n,
+            compute_seconds: immediate_scan_cost(n, m),
+            generations: 0,
+        }
+    }
+
+    fn next_task_for(&mut self, p: ProcessorId) -> Option<Task> {
+        self.base.queues.pop(p)
+    }
+    fn queued_len(&self, p: ProcessorId) -> usize {
+        self.base.queues.queued_len(p)
+    }
+    fn queued_mflops(&self, p: ProcessorId) -> f64 {
+        self.base.queues.queued_mflops(p)
+    }
+}
+
+/// RR — round robin.
+///
+/// "Tasks are assigned to processors in a round robin fashion. No load or
+/// task information is used when making a scheduling decision."
+pub struct RoundRobin {
+    base: ImmediateBase,
+    next: usize,
+}
+
+impl RoundRobin {
+    /// Creates an RR scheduler for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        Self {
+            base: ImmediateBase::new(n_procs),
+            next: 0,
+        }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "RR"
+    }
+    fn mode(&self) -> SchedulerMode {
+        SchedulerMode::Immediate
+    }
+    fn enqueue(&mut self, tasks: &[Task]) {
+        self.base.unscheduled.extend(tasks.iter().copied());
+    }
+    fn unscheduled_len(&self) -> usize {
+        self.base.unscheduled.len()
+    }
+
+    fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+        let m = view.processors.len();
+        let n = self.base.unscheduled.len();
+        while let Some(task) = self.base.unscheduled.pop_front() {
+            self.base.queues.push(ProcessorId(self.next as u16), task);
+            self.next = (self.next + 1) % m;
+        }
+        PlanOutcome {
+            tasks_assigned: n,
+            compute_seconds: round_robin_cost(n),
+            generations: 0,
+        }
+    }
+
+    fn next_task_for(&mut self, p: ProcessorId) -> Option<Task> {
+        self.base.queues.pop(p)
+    }
+    fn queued_len(&self, p: ProcessorId) -> usize {
+        self.base.queues.queued_len(p)
+    }
+    fn queued_mflops(&self, p: ProcessorId) -> f64 {
+        self.base.queues.queued_mflops(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::sched::ProcessorView;
+    use dts_model::{SimTime, TaskId};
+
+    fn tasks(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn view(rates: &[f64]) -> SystemView {
+        SystemView {
+            now: SimTime::ZERO,
+            processors: rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| ProcessorView {
+                    id: ProcessorId(i as u16),
+                    rate_estimate: rate,
+                    inflight_mflops: 0.0,
+                    comm_estimate: 0.0,
+                })
+                .collect(),
+            seconds_until_first_idle: Some(60.0),
+        }
+    }
+
+    #[test]
+    fn ef_prefers_fast_processor() {
+        let mut s = EarliestFinish::new(2);
+        s.enqueue(&tasks(&[100.0]));
+        s.plan(&view(&[400.0, 100.0]));
+        assert_eq!(s.queued_len(ProcessorId(0)), 1);
+        assert_eq!(s.queued_len(ProcessorId(1)), 0);
+    }
+
+    #[test]
+    fn ef_balances_over_time() {
+        let mut s = EarliestFinish::new(2);
+        s.enqueue(&tasks(&[100.0; 10]));
+        s.plan(&view(&[100.0, 100.0]));
+        assert_eq!(s.queued_len(ProcessorId(0)), 5);
+        assert_eq!(s.queued_len(ProcessorId(1)), 5);
+    }
+
+    #[test]
+    fn ef_weights_by_rate() {
+        // A 3× faster processor should receive about 3× the MFLOPs.
+        let mut s = EarliestFinish::new(2);
+        s.enqueue(&tasks(&[50.0; 80]));
+        s.plan(&view(&[300.0, 100.0]));
+        let fast = s.queued_mflops(ProcessorId(0));
+        let slow = s.queued_mflops(ProcessorId(1));
+        assert!((fast / slow - 3.0).abs() < 0.3, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn ll_ignores_rates() {
+        // LL balances MFLOPs regardless of speed: equal loads even with
+        // wildly different processors.
+        let mut s = LightestLoaded::new(2);
+        s.enqueue(&tasks(&[100.0; 10]));
+        s.plan(&view(&[1000.0, 10.0]));
+        assert_eq!(s.queued_mflops(ProcessorId(0)), 500.0);
+        assert_eq!(s.queued_mflops(ProcessorId(1)), 500.0);
+    }
+
+    #[test]
+    fn rr_cycles() {
+        let mut s = RoundRobin::new(3);
+        s.enqueue(&tasks(&[1.0, 2.0, 3.0, 4.0]));
+        s.plan(&view(&[100.0, 100.0, 100.0]));
+        assert_eq!(s.queued_len(ProcessorId(0)), 2);
+        assert_eq!(s.queued_len(ProcessorId(1)), 1);
+        assert_eq!(s.queued_len(ProcessorId(2)), 1);
+        // Cycle position persists across plan() calls.
+        s.enqueue(&tasks(&[5.0, 6.0]));
+        s.plan(&view(&[100.0, 100.0, 100.0]));
+        assert_eq!(s.queued_len(ProcessorId(1)), 2);
+        assert_eq!(s.queued_len(ProcessorId(2)), 2);
+    }
+
+    #[test]
+    fn fifo_dispatch_order() {
+        let mut s = RoundRobin::new(1);
+        s.enqueue(&tasks(&[1.0, 2.0, 3.0]));
+        s.plan(&view(&[100.0]));
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().id, TaskId(0));
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().id, TaskId(1));
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().id, TaskId(2));
+        assert_eq!(s.next_task_for(ProcessorId(0)), None);
+    }
+
+    #[test]
+    fn plan_outcome_accounting() {
+        let mut s = EarliestFinish::new(4);
+        s.enqueue(&tasks(&[1.0; 10]));
+        let out = s.plan(&view(&[100.0; 4]));
+        assert_eq!(out.tasks_assigned, 10);
+        assert!(out.compute_seconds > 0.0);
+        assert_eq!(out.generations, 0);
+        assert_eq!(s.unscheduled_len(), 0);
+    }
+
+    #[test]
+    fn modes_and_names() {
+        assert_eq!(EarliestFinish::new(1).name(), "EF");
+        assert_eq!(LightestLoaded::new(1).name(), "LL");
+        assert_eq!(RoundRobin::new(1).name(), "RR");
+        assert_eq!(RoundRobin::new(1).mode(), SchedulerMode::Immediate);
+    }
+}

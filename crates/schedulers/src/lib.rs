@@ -1,0 +1,41 @@
+//! The six comparison schedulers of §4.1.
+//!
+//! Three **immediate-mode** schedulers map one task at a time, FCFS:
+//!
+//! * [`EarliestFinish`] (EF) — allocate to the processor that will finish
+//!   the task earliest given its current load; worst case Θ(M) per task.
+//! * [`LightestLoaded`] (LL) — allocate to the processor with the lowest
+//!   current load in MFLOPs, ignoring the task's own size; Θ(M).
+//! * [`RoundRobin`] (RR) — cyclic assignment using no information; Θ(1).
+//!
+//! Three **batch-mode** schedulers map a batch at a time:
+//!
+//! * [`MaxMin`] (MX) — sort the batch by size descending, allocate each
+//!   task EF-style: "the largest tasks scheduled as early as possible, with
+//!   smaller tasks at the end filling in the gaps";
+//!   Θ(max(M, n log n)).
+//! * [`MinMin`] (MM) — the same with ascending order.
+//! * [`Zomaya`] (ZO) — Zomaya & Teh's dynamic GA load-balancer (TPDS 2001),
+//!   the state of the art the paper builds on: same GA machinery as PN but
+//!   with a makespan-only fitness (no communication prediction), a fixed
+//!   batch size, a random initial population, and no rebalancing heuristic.
+//!   Converted to heterogeneous processors exactly as the paper did, by
+//!   expressing task sizes in MFLOPs rather than time.
+//!
+//! All of them implement [`dts_model::Scheduler`] and therefore run on the
+//! same simulator, see the same [`dts_model::SystemView`] estimates, and
+//! pay for their decisions through the same compute-cost accounting.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod immediate;
+pub mod maheswaran;
+pub mod minmax;
+pub mod zomaya;
+
+pub use immediate::{EarliestFinish, LightestLoaded, RoundRobin};
+pub use maheswaran::{KPercentBest, Olb, Sufferage};
+pub use minmax::{MaxMin, MinMin};
+pub use zomaya::{Zomaya, ZoConfig};

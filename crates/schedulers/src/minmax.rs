@@ -1,0 +1,282 @@
+//! The sorted-batch heuristics MM (min-min) and MX (max-min) of §4.1.
+//!
+//! > "The max-min (MX) scheduler is a batch mode heuristic scheduler. It
+//! > takes batches of tasks on a FCFS basis. These tasks are then sorted
+//! > according to task size in a descending order. The largest task is then
+//! > allocated to the processor that will finish processing it first (same
+//! > as EF). This is repeated until the batch is empty … The min-min (MM)
+//! > scheduler is similar to the MX scheduler, except tasks are sorted in
+//! > ascending order according to size."
+
+use std::collections::VecDeque;
+
+use dts_model::{
+    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
+};
+
+use crate::cost::sorted_batch_cost;
+
+/// Sort direction distinguishing MM from MX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Order {
+    /// Ascending by size — min-min.
+    Ascending,
+    /// Descending by size — max-min.
+    Descending,
+}
+
+/// Shared implementation of the two sorted-batch heuristics.
+struct SortedBatch {
+    unscheduled: VecDeque<Task>,
+    queues: TaskQueues,
+    batch_size: usize,
+    order: Order,
+}
+
+impl SortedBatch {
+    fn new(n_procs: usize, batch_size: usize, order: Order) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        assert!(batch_size > 0, "batch size must be ≥ 1");
+        Self {
+            unscheduled: VecDeque::new(),
+            queues: TaskQueues::new(n_procs),
+            batch_size,
+            order,
+        }
+    }
+
+    fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+        let m = view.processors.len();
+        let take = self.batch_size.min(self.unscheduled.len());
+        if take == 0 {
+            return PlanOutcome::IDLE;
+        }
+        let mut batch: Vec<Task> = self.unscheduled.drain(..take).collect();
+        match self.order {
+            Order::Ascending => {
+                batch.sort_by(|a, b| a.mflops.partial_cmp(&b.mflops).expect("finite sizes"))
+            }
+            Order::Descending => {
+                batch.sort_by(|a, b| b.mflops.partial_cmp(&a.mflops).expect("finite sizes"))
+            }
+        }
+        // Track assigned load locally so successive decisions see each
+        // other (the "gaps" the paper describes filling).
+        let mut load: Vec<f64> = (0..m)
+            .map(|j| {
+                self.queues.queued_mflops(ProcessorId(j as u16))
+                    + view.processors[j].inflight_mflops
+            })
+            .collect();
+        for task in batch {
+            let mut best = 0usize;
+            let mut best_finish = f64::INFINITY;
+            for (j, p) in view.processors.iter().enumerate() {
+                let rate = p.rate_estimate.max(1e-9);
+                let finish = (load[j] + task.mflops) / rate;
+                if finish < best_finish {
+                    best_finish = finish;
+                    best = j;
+                }
+            }
+            load[best] += task.mflops;
+            self.queues.push(ProcessorId(best as u16), task);
+        }
+        PlanOutcome {
+            tasks_assigned: take,
+            compute_seconds: sorted_batch_cost(take, m),
+            generations: 0,
+        }
+    }
+}
+
+macro_rules! sorted_batch_scheduler {
+    ($(#[$doc:meta])* $name:ident, $label:literal, $order:expr) => {
+        $(#[$doc])*
+        pub struct $name {
+            inner: SortedBatch,
+        }
+
+        impl $name {
+            /// Creates the scheduler with the paper's default batch size
+            /// of 200.
+            pub fn new(n_procs: usize) -> Self {
+                Self::with_batch_size(n_procs, 200)
+            }
+
+            /// Creates the scheduler with an explicit batch size.
+            pub fn with_batch_size(n_procs: usize, batch_size: usize) -> Self {
+                Self {
+                    inner: SortedBatch::new(n_procs, batch_size, $order),
+                }
+            }
+        }
+
+        impl Scheduler for $name {
+            fn name(&self) -> &'static str {
+                $label
+            }
+            fn mode(&self) -> SchedulerMode {
+                SchedulerMode::Batch
+            }
+            fn enqueue(&mut self, tasks: &[Task]) {
+                self.inner.unscheduled.extend(tasks.iter().copied());
+            }
+            fn unscheduled_len(&self) -> usize {
+                self.inner.unscheduled.len()
+            }
+            fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+                self.inner.plan(view)
+            }
+            fn next_task_for(&mut self, p: ProcessorId) -> Option<Task> {
+                self.inner.queues.pop(p)
+            }
+            fn queued_len(&self, p: ProcessorId) -> usize {
+                self.inner.queues.queued_len(p)
+            }
+            fn queued_mflops(&self, p: ProcessorId) -> f64 {
+                self.inner.queues.queued_mflops(p)
+            }
+        }
+    };
+}
+
+sorted_batch_scheduler!(
+    /// MX — max-min: largest tasks first, each to its earliest-finish
+    /// processor.
+    MaxMin,
+    "MX",
+    Order::Descending
+);
+
+sorted_batch_scheduler!(
+    /// MM — min-min: smallest tasks first, each to its earliest-finish
+    /// processor.
+    MinMin,
+    "MM",
+    Order::Ascending
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::sched::ProcessorView;
+    use dts_model::{SimTime, TaskId};
+
+    fn tasks(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn view(rates: &[f64]) -> SystemView {
+        SystemView {
+            now: SimTime::ZERO,
+            processors: rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| ProcessorView {
+                    id: ProcessorId(i as u16),
+                    rate_estimate: rate,
+                    inflight_mflops: 0.0,
+                    comm_estimate: 0.0,
+                })
+                .collect(),
+            seconds_until_first_idle: Some(60.0),
+        }
+    }
+
+    #[test]
+    fn mx_dispatches_largest_first() {
+        let mut s = MaxMin::new(2);
+        s.enqueue(&tasks(&[10.0, 500.0, 50.0]));
+        s.plan(&view(&[100.0, 100.0]));
+        // The 500 task is placed first; heads of the queues are the two
+        // largest tasks.
+        let head0 = s.next_task_for(ProcessorId(0)).unwrap();
+        let head1 = s.next_task_for(ProcessorId(1)).unwrap();
+        let mut heads = [head0.mflops, head1.mflops];
+        heads.sort_by(f64::total_cmp);
+        assert_eq!(heads, [50.0, 500.0]);
+    }
+
+    #[test]
+    fn mm_dispatches_smallest_first() {
+        let mut s = MinMin::new(1);
+        s.enqueue(&tasks(&[10.0, 500.0, 50.0]));
+        s.plan(&view(&[100.0]));
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().mflops, 10.0);
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().mflops, 50.0);
+        assert_eq!(s.next_task_for(ProcessorId(0)).unwrap().mflops, 500.0);
+    }
+
+    #[test]
+    fn batch_boundary_respected() {
+        let mut s = MinMin::with_batch_size(2, 4);
+        s.enqueue(&tasks(&[1.0; 10]));
+        let out = s.plan(&view(&[100.0, 100.0]));
+        assert_eq!(out.tasks_assigned, 4);
+        assert_eq!(s.unscheduled_len(), 6);
+        let out = s.plan(&view(&[100.0, 100.0]));
+        assert_eq!(out.tasks_assigned, 4);
+        let out = s.plan(&view(&[100.0, 100.0]));
+        assert_eq!(out.tasks_assigned, 2);
+        assert_eq!(s.unscheduled_len(), 0);
+    }
+
+    #[test]
+    fn loads_balance_on_heterogeneous_rates() {
+        let mut s = MaxMin::new(2);
+        s.enqueue(&tasks(&[100.0; 40]));
+        s.plan(&view(&[300.0, 100.0]));
+        let fast = s.queued_mflops(ProcessorId(0));
+        let slow = s.queued_mflops(ProcessorId(1));
+        assert!(fast > slow, "faster processor should carry more");
+        assert_eq!(fast + slow, 4000.0);
+    }
+
+    #[test]
+    fn mx_packs_large_tasks_better_than_mm_on_mixed_batches() {
+        // Classic property: with a few huge tasks and many small ones,
+        // max-min fills the gaps with small tasks while min-min strands the
+        // huge ones at the end. Compare estimated makespans.
+        let sizes: Vec<f64> = std::iter::repeat(10.0)
+            .take(30)
+            .chain([500.0, 500.0])
+            .collect();
+        let makespan = |queued: &dyn Fn(&mut dyn Scheduler)| {
+            let rates = [100.0, 100.0];
+            let v = view(&rates);
+            let mut mx = MaxMin::new(2);
+            queued(&mut mx);
+            mx.plan(&v);
+            (0..2)
+                .map(|j| mx.queued_mflops(ProcessorId(j as u16)) / rates[j as usize])
+                .fold(0.0f64, f64::max)
+        };
+        let mx_span = makespan(&|s| s.enqueue(&tasks(&sizes)));
+        // Perfect split of 1600 MFLOPs over two equal processors = 8 s.
+        assert!(mx_span <= 9.0, "MX makespan {mx_span}");
+    }
+
+    #[test]
+    fn empty_plan_is_idle() {
+        let mut s = MinMin::new(2);
+        assert_eq!(s.plan(&view(&[100.0, 100.0])), PlanOutcome::IDLE);
+    }
+
+    #[test]
+    fn names_and_modes() {
+        assert_eq!(MaxMin::new(1).name(), "MX");
+        assert_eq!(MinMin::new(1).name(), "MM");
+        assert_eq!(MinMin::new(1).mode(), SchedulerMode::Batch);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_rejected() {
+        let _ = MinMin::with_batch_size(1, 0);
+    }
+}

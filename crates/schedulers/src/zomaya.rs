@@ -1,0 +1,361 @@
+//! ZO — the Zomaya & Teh dynamic GA load-balancer (TPDS 2001), §4.1.
+//!
+//! > "The scheduler proposed by Zomaya et al. (ZO) in [19] has been
+//! > implemented for this paper. It is the current state of the art
+//! > homogeneous GA scheduler and the basis for our scheduler. The ZO
+//! > scheduler was easily converted from a homogeneous scheduler to a
+//! > heterogeneous scheduler by using the Mflop/s benchmark for task sizes
+//! > rather than time. It is a batch scheduler which uses GAs to create
+//! > schedules."
+//!
+//! Differences from PN, which are exactly the paper's claimed
+//! contributions:
+//!
+//! | Aspect              | ZO                      | PN                          |
+//! |---------------------|-------------------------|-----------------------------|
+//! | fitness             | makespan only           | relative error incl. Γc     |
+//! | communication       | reacts after the fact   | predicted via smoothing     |
+//! | batch size          | fixed                   | dynamic (§3.7)              |
+//! | initial population  | random assignment       | list-scheduling (§3.3)      |
+//! | local improvement   | none                    | rebalancing (§3.5)          |
+//!
+//! The GA machinery itself (encoding, roulette selection, cycle crossover,
+//! swap mutation, micro-population of 20, 1000-generation cap, idle-time
+//! budget) is shared with PN through `dts-ga`.
+
+use std::collections::VecDeque;
+
+use dts_distributions::{Prng, Rng};
+use dts_ga::{
+    Chromosome, CycleCrossover, GaConfig, GaEngine, Problem, RouletteWheel, SwapMutation,
+};
+use dts_model::{
+    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
+};
+
+use dts_core::time_model::GaTimeModel;
+
+/// Configuration of the ZO scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoConfig {
+    /// GA parameters (population 20, up to 1000 generations, as in §4.2).
+    pub ga: GaConfig,
+    /// Fixed batch size (the paper's experiments use 200).
+    pub batch_size: usize,
+    /// Generations always granted even when a processor is about to idle.
+    pub min_generations: u32,
+    /// Modelled compute time per generation (same model as PN for a fair
+    /// comparison).
+    pub time_model: GaTimeModel,
+    /// Seed for the scheduler's private RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ZoConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaConfig::default(),
+            batch_size: 200,
+            min_generations: 10,
+            time_model: GaTimeModel::default(),
+            seed: 0x20_2001,
+        }
+    }
+}
+
+/// The makespan-only fitness of the ZO scheduler.
+///
+/// Completion of processor j: `(Lⱼ + Σ_{y→j} t_y) / Pⱼ` — no communication
+/// term. Fitness is the theoretical optimum over the achieved makespan,
+/// which lands in `(0, 1]` like PN's fitness but rewards only load balance.
+struct ZoProblem<'a> {
+    batch: &'a [Task],
+    rates: &'a [f64],
+    existing_load: &'a [f64],
+    /// `Σt / ΣP + max δ` — a lower bound used to normalise fitness.
+    optimum: f64,
+}
+
+impl<'a> ZoProblem<'a> {
+    fn new(batch: &'a [Task], rates: &'a [f64], existing_load: &'a [f64]) -> Self {
+        let total: f64 = batch.iter().map(|t| t.mflops).sum();
+        let total_rate: f64 = rates.iter().sum();
+        let max_delta = rates
+            .iter()
+            .zip(existing_load)
+            .map(|(&r, &l)| l / r.max(1e-9))
+            .fold(0.0f64, f64::max);
+        Self {
+            batch,
+            rates,
+            existing_load,
+            optimum: (total / total_rate.max(1e-9) + max_delta).max(1e-12),
+        }
+    }
+}
+
+impl Problem for ZoProblem<'_> {
+    fn fitness(&self, c: &Chromosome) -> f64 {
+        let ms = self.makespan(c);
+        (self.optimum / ms).min(1.0)
+    }
+
+    fn makespan(&self, c: &Chromosome) -> f64 {
+        let m = self.rates.len();
+        let mut load = [0.0f64; 64];
+        let mut load_vec;
+        let load: &mut [f64] = if m <= 64 {
+            &mut load[..m]
+        } else {
+            load_vec = vec![0.0f64; m];
+            &mut load_vec
+        };
+        load.copy_from_slice(self.existing_load);
+        for (proc, slot) in c.assignments() {
+            load[proc] += self.batch[slot as usize].mflops;
+        }
+        load.iter()
+            .zip(self.rates)
+            .map(|(&l, &r)| l / r.max(1e-9))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The ZO scheduler.
+pub struct Zomaya {
+    config: ZoConfig,
+    unscheduled: VecDeque<Task>,
+    queues: TaskQueues,
+    rng: Prng,
+}
+
+impl Zomaya {
+    /// Creates a ZO scheduler for `n_procs` processors.
+    pub fn new(n_procs: usize, config: ZoConfig) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        assert!(config.batch_size > 0, "batch size must be ≥ 1");
+        let rng = Prng::seed_from(config.seed);
+        Self {
+            config,
+            unscheduled: VecDeque::new(),
+            queues: TaskQueues::new(n_procs),
+            rng,
+        }
+    }
+
+    /// Random initial population: each task to a uniformly random
+    /// processor (Zomaya & Teh seed their GA randomly).
+    fn random_population(&mut self, h: usize, m: usize) -> Vec<Chromosome> {
+        (0..self.config.ga.population_size)
+            .map(|_| {
+                let mut queues = vec![Vec::new(); m];
+                for slot in 0..h as u32 {
+                    let j = self.rng.below(m);
+                    queues[j].push(slot);
+                }
+                Chromosome::from_queues(&queues)
+            })
+            .collect()
+    }
+}
+
+impl Scheduler for Zomaya {
+    fn name(&self) -> &'static str {
+        "ZO"
+    }
+    fn mode(&self) -> SchedulerMode {
+        SchedulerMode::Batch
+    }
+    fn enqueue(&mut self, tasks: &[Task]) {
+        self.unscheduled.extend(tasks.iter().copied());
+    }
+    fn unscheduled_len(&self) -> usize {
+        self.unscheduled.len()
+    }
+
+    fn plan(&mut self, view: &SystemView) -> PlanOutcome {
+        if self.unscheduled.is_empty() {
+            return PlanOutcome::IDLE;
+        }
+        let m = view.processors.len();
+        let h = self.config.batch_size.min(self.unscheduled.len());
+        let batch: Vec<Task> = self.unscheduled.drain(..h).collect();
+
+        let rates: Vec<f64> = view
+            .processors
+            .iter()
+            .map(|p| p.rate_estimate.max(1e-9))
+            .collect();
+        let existing: Vec<f64> = view
+            .processors
+            .iter()
+            .map(|p| self.queues.queued_mflops(p.id) + p.inflight_mflops)
+            .collect();
+
+        let rho = self.config.ga.population_size;
+        let per_gen = self.config.time_model.seconds_per_generation(h, m, rho, 0);
+        let budget = match view.seconds_until_first_idle {
+            None => self.config.min_generations,
+            Some(secs) => self
+                .config
+                .time_model
+                .generations_within(secs, h, m, rho, 0)
+                .max(self.config.min_generations),
+        };
+
+        let problem = ZoProblem::new(&batch, &rates, &existing);
+        let initial = self.random_population(h, m);
+        let selection = RouletteWheel;
+        let crossover = CycleCrossover;
+        let mutation = SwapMutation;
+        let engine = GaEngine::new(&selection, &crossover, &mutation, self.config.ga.clone());
+        let result = engine.run(&problem, initial, Some(budget), &mut self.rng);
+
+        for (proc, queue) in result.best.to_queues().iter().enumerate() {
+            let pid = ProcessorId(proc as u16);
+            for &slot in queue {
+                self.queues.push(pid, batch[slot as usize]);
+            }
+        }
+
+        PlanOutcome {
+            tasks_assigned: h,
+            compute_seconds: per_gen * result.generations as f64,
+            generations: result.generations,
+        }
+    }
+
+    fn next_task_for(&mut self, p: ProcessorId) -> Option<Task> {
+        self.queues.pop(p)
+    }
+    fn queued_len(&self, p: ProcessorId) -> usize {
+        self.queues.queued_len(p)
+    }
+    fn queued_mflops(&self, p: ProcessorId) -> f64 {
+        self.queues.queued_mflops(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::sched::ProcessorView;
+    use dts_model::{SimTime, TaskId};
+
+    fn tasks(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn view(rates: &[f64]) -> SystemView {
+        SystemView {
+            now: SimTime::ZERO,
+            processors: rates
+                .iter()
+                .enumerate()
+                .map(|(i, &rate)| ProcessorView {
+                    id: ProcessorId(i as u16),
+                    rate_estimate: rate,
+                    inflight_mflops: 0.0,
+                    comm_estimate: 0.5,
+                })
+                .collect(),
+            seconds_until_first_idle: Some(60.0),
+        }
+    }
+
+    fn quick() -> ZoConfig {
+        let mut c = ZoConfig::default();
+        c.ga.max_generations = 60;
+        c.batch_size = 16;
+        c
+    }
+
+    #[test]
+    fn zo_problem_makespan_by_hand() {
+        let b = tasks(&[100.0, 200.0]);
+        let rates = [100.0, 50.0];
+        let existing = [0.0, 50.0];
+        let p = ZoProblem::new(&b, &rates, &existing);
+        // Everything on processor 1: (50 + 300)/50 = 7.
+        let c = Chromosome::from_queues(&[vec![], vec![0, 1]]);
+        assert!((p.makespan(&c) - 7.0).abs() < 1e-12);
+        // Split: max(100/100, (50+200)/50) = 5.
+        let c2 = Chromosome::from_queues(&[vec![0], vec![1]]);
+        assert!((p.makespan(&c2) - 5.0).abs() < 1e-12);
+        assert!(p.fitness(&c2) > p.fitness(&c));
+    }
+
+    #[test]
+    fn zo_fitness_in_unit_interval() {
+        let b = tasks(&[100.0; 12]);
+        let rates = [100.0, 100.0, 100.0];
+        let existing = [0.0; 3];
+        let p = ZoProblem::new(&b, &rates, &existing);
+        let c = Chromosome::from_queues(&[(0..12).collect(), vec![], vec![]]);
+        let f = p.fitness(&c);
+        assert!(f > 0.0 && f <= 1.0);
+    }
+
+    #[test]
+    fn zo_schedules_all_tasks() {
+        let mut s = Zomaya::new(3, quick());
+        s.enqueue(&tasks(&[50.0; 40]));
+        let v = view(&[100.0, 150.0, 80.0]);
+        while s.unscheduled_len() > 0 {
+            let out = s.plan(&v);
+            assert!(out.tasks_assigned > 0);
+            assert!(out.generations > 0);
+        }
+        let total: usize = (0..3)
+            .map(|i| s.queued_len(ProcessorId(i)))
+            .sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn zo_balances_heterogeneous_cluster() {
+        let mut s = Zomaya::new(2, quick());
+        s.enqueue(&tasks(&[100.0; 16]));
+        s.plan(&view(&[300.0, 100.0]));
+        let fast = s.queued_mflops(ProcessorId(0));
+        let slow = s.queued_mflops(ProcessorId(1));
+        assert!(
+            fast > slow,
+            "GA should give the 3× processor more work: {fast} vs {slow}"
+        );
+    }
+
+    #[test]
+    fn zo_fixed_batch_size() {
+        let mut s = Zomaya::new(2, quick());
+        s.enqueue(&tasks(&[10.0; 40]));
+        let v = view(&[100.0, 100.0]);
+        assert_eq!(s.plan(&v).tasks_assigned, 16);
+        assert_eq!(s.plan(&v).tasks_assigned, 16);
+        assert_eq!(s.plan(&v).tasks_assigned, 8);
+    }
+
+    #[test]
+    fn zo_is_deterministic() {
+        let run = || {
+            let mut s = Zomaya::new(2, quick());
+            s.enqueue(&tasks(&[100.0, 70.0, 30.0, 20.0, 10.0, 5.0]));
+            s.plan(&view(&[100.0, 100.0]));
+            (0..2)
+                .map(|i| s.queued_mflops(ProcessorId(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn name_and_mode() {
+        let s = Zomaya::new(1, quick());
+        assert_eq!(s.name(), "ZO");
+        assert_eq!(s.mode(), SchedulerMode::Batch);
+    }
+}

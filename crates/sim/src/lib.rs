@@ -1,0 +1,46 @@
+//! Discrete-event simulator of the paper's distributed system (§3, §4.2).
+//!
+//! The simulated world:
+//!
+//! * one **dedicated scheduler host** that runs whatever
+//!   [`dts_model::Scheduler`] is plugged in, paying simulated seconds for
+//!   every planning invocation;
+//! * `M` **worker processors**, each with a Linpack rating (Mflop/s) and a
+//!   time-varying availability fraction;
+//! * one **communication link** per worker with its own randomly generated
+//!   mean cost; every message samples a cost from that link's distribution.
+//!
+//! The protocol is the paper's pull model: workers *request* tasks; the
+//! scheduler replies with the head of that worker's queue; a completed
+//! task's result (and the implicit next request) travels back over the
+//! link. A worker therefore alternates receive → compute → send, and the
+//! simulator charges each phase to communication or processing time. The
+//! **efficiency** a run reports is exactly the paper's metric: "the
+//! percentage of the time that processors actually spend processing rather
+//! than communicating or idling".
+//!
+//! Estimates shown to schedulers (execution rates, link costs) are smoothed
+//! observations — the §3.6 Γ function — never instantaneous ground truth.
+//!
+//! # Modules
+//!
+//! * [`event`] — the event queue (binary heap, deterministic tie-breaking).
+//! * [`engine`] — the [`engine::Simulation`] state machine.
+//! * [`metrics`] — per-processor time accounting and the
+//!   [`metrics::SimReport`].
+//! * [`runner`] — one-call experiment execution plus parallel replication
+//!   over seeds.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod runner;
+pub mod trace;
+
+pub use engine::{SimConfig, SimError, Simulation};
+pub use metrics::{ProcBreakdown, SimReport};
+pub use runner::{run_replicated, run_simulation, SchedulerFactory};
+pub use trace::{TaskSpan, Trace};

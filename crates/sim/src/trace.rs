@@ -1,0 +1,206 @@
+//! Per-task execution traces and an ASCII Gantt renderer.
+//!
+//! When [`crate::SimConfig::record_trace`] is set, the simulator records
+//! the full lifecycle of every task — dispatch, execution window, result
+//! return — and the report carries a [`Trace`]. The [`Trace::gantt`]
+//! renderer draws per-processor timelines that make scheduling pathologies
+//! (idle tails, comm-bound processors, starved machines) visible at a
+//! glance:
+//!
+//! ```text
+//! P0 |▒▒████▒░░▒▒███████▒
+//! P1 |▒███▒▒▒████▒      ·
+//!     █ computing  ▒ communicating  · idle
+//! ```
+
+use dts_model::{ProcessorId, SimTime, TaskId};
+
+/// The recorded lifecycle of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpan {
+    /// Which task.
+    pub task: TaskId,
+    /// Worker that executed it.
+    pub proc: ProcessorId,
+    /// MFLOPs of the task.
+    pub mflops: f64,
+    /// When the scheduler put the task on the wire.
+    pub sent_at: SimTime,
+    /// When the worker started computing (dispatch arrival).
+    pub exec_start: SimTime,
+    /// When the computation finished.
+    pub exec_end: SimTime,
+    /// When the result reached the scheduler.
+    pub result_at: SimTime,
+}
+
+impl TaskSpan {
+    /// Seconds of computation.
+    pub fn compute_seconds(&self) -> f64 {
+        self.exec_end.since(self.exec_start)
+    }
+
+    /// Seconds in transit (dispatch + result).
+    pub fn comm_seconds(&self) -> f64 {
+        self.exec_start.since(self.sent_at) + self.result_at.since(self.exec_end)
+    }
+}
+
+/// The full execution trace of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    spans: Vec<TaskSpan>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a completed span (the simulator calls this as results
+    /// arrive, so spans are ordered by `result_at`).
+    pub fn push(&mut self, span: TaskSpan) {
+        self.spans.push(span);
+    }
+
+    /// All recorded spans, in result-arrival order.
+    pub fn spans(&self) -> &[TaskSpan] {
+        &self.spans
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans executed by one processor.
+    pub fn for_proc(&self, p: ProcessorId) -> impl Iterator<Item = &TaskSpan> {
+        self.spans.iter().filter(move |s| s.proc == p)
+    }
+
+    /// Renders an ASCII Gantt chart: one row per processor, `width`
+    /// characters across `[0, horizon]` seconds. `█` marks computation,
+    /// `▒` communication, `·` idle.
+    pub fn gantt(&self, n_procs: usize, horizon: f64, width: usize) -> String {
+        assert!(width > 0 && horizon > 0.0);
+        let mut out = String::new();
+        let scale = width as f64 / horizon;
+        for j in 0..n_procs {
+            let mut row = vec!['\u{B7}'; width]; // '·'
+            for span in self.for_proc(ProcessorId(j as u16)) {
+                let paint = |row: &mut Vec<char>, from: f64, to: f64, ch: char| {
+                    let a = ((from * scale) as usize).min(width.saturating_sub(1));
+                    let b = ((to * scale).ceil() as usize).clamp(a + 1, width);
+                    for cell in &mut row[a..b] {
+                        // Computation wins over communication when a cell
+                        // holds both.
+                        if *cell != '\u{2588}' || ch == '\u{2588}' {
+                            *cell = ch;
+                        }
+                    }
+                };
+                paint(
+                    &mut row,
+                    span.sent_at.seconds(),
+                    span.exec_start.seconds(),
+                    '\u{2592}', // ▒
+                );
+                paint(
+                    &mut row,
+                    span.exec_start.seconds(),
+                    span.exec_end.seconds(),
+                    '\u{2588}', // █
+                );
+                paint(
+                    &mut row,
+                    span.exec_end.seconds(),
+                    span.result_at.seconds(),
+                    '\u{2592}',
+                );
+            }
+            out.push_str(&format!("P{j:<3}|"));
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("     █ computing  ▒ communicating  · idle\n");
+        out
+    }
+
+    /// Aggregate check: total computed MFLOPs in the trace.
+    pub fn total_mflops(&self) -> f64 {
+        self.spans.iter().map(|s| s.mflops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(task: u32, proc: u16, t0: f64, t1: f64, t2: f64, t3: f64) -> TaskSpan {
+        TaskSpan {
+            task: TaskId(task),
+            proc: ProcessorId(proc),
+            mflops: 100.0,
+            sent_at: SimTime::new(t0),
+            exec_start: SimTime::new(t1),
+            exec_end: SimTime::new(t2),
+            result_at: SimTime::new(t3),
+        }
+    }
+
+    #[test]
+    fn span_accounting() {
+        let s = span(0, 0, 1.0, 2.0, 5.0, 6.5);
+        assert_eq!(s.compute_seconds(), 3.0);
+        assert_eq!(s.comm_seconds(), 2.5);
+    }
+
+    #[test]
+    fn per_proc_filter() {
+        let mut t = Trace::new();
+        t.push(span(0, 0, 0.0, 0.0, 1.0, 1.0));
+        t.push(span(1, 1, 0.0, 0.0, 2.0, 2.0));
+        t.push(span(2, 0, 1.0, 1.0, 3.0, 3.0));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.for_proc(ProcessorId(0)).count(), 2);
+        assert_eq!(t.for_proc(ProcessorId(1)).count(), 1);
+        assert_eq!(t.total_mflops(), 300.0);
+    }
+
+    #[test]
+    fn gantt_paints_phases() {
+        let mut t = Trace::new();
+        // 10-second horizon, 10 columns: comm [0,2), compute [2,8), comm [8,10).
+        t.push(span(0, 0, 0.0, 2.0, 8.0, 10.0));
+        let g = t.gantt(2, 10.0, 10);
+        let rows: Vec<&str> = g.lines().collect();
+        assert!(rows[0].starts_with("P0  |"));
+        let cells: Vec<char> = rows[0].chars().skip(5).collect();
+        assert_eq!(cells[0], '▒');
+        assert_eq!(cells[3], '█');
+        assert_eq!(cells[9], '▒');
+        // Processor 1 did nothing: all idle.
+        assert!(rows[1].chars().skip(5).all(|c| c == '·'));
+        assert!(rows[2].contains("computing"));
+    }
+
+    #[test]
+    fn empty_trace_is_all_idle() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        let g = t.gantt(1, 5.0, 8);
+        assert!(g.lines().next().unwrap().chars().skip(5).all(|c| c == '·'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gantt_rejects_zero_width() {
+        let _ = Trace::new().gantt(1, 5.0, 0);
+    }
+}

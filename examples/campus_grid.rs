@@ -1,0 +1,90 @@
+//! Campus-grid scenario: the paper's §6 future-work testbed, simulated.
+//!
+//! "We intend to compare all of the schedulers … on a general-purpose
+//! distributed system. The system is currently deployed on over 250
+//! heterogeneous PCs and runs problems from cryptography, bioinformatics,
+//! and biomedical engineering."
+//!
+//! This example models that environment: 250 PCs whose availability
+//! follows a day/night two-level pattern (student machines are busy during
+//! the day), a bursty stream of bioinformatics-style jobs arriving over
+//! time, and realistic campus-LAN communication costs. PN is compared with
+//! the best heuristic baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example campus_grid
+//! ```
+
+use dts::core::{PnConfig, PnScheduler};
+use dts::model::{
+    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler,
+    SizeDistribution, WorkloadSpec,
+};
+use dts::schedulers::EarliestFinish;
+use dts::sim::{SimConfig, Simulation};
+
+fn main() {
+    let procs = 250;
+
+    // Heterogeneous campus PCs: 2005-era ratings, 100 Mflop/s to 1 Gflop/s.
+    // Availability: full at night, 30 % during the (shorter, for the demo)
+    // "day" phase.
+    let cluster_spec = ClusterSpec {
+        processors: procs,
+        rating: SizeDistribution::Uniform { lo: 100.0, hi: 1000.0 },
+        availability: AvailabilityModel::TwoLevel {
+            high: 1.0,
+            low: 0.3,
+            high_secs: 600.0,
+            low_secs: 300.0,
+        },
+        comm: CommCostSpec::with_mean(0.5), // campus LAN: sub-second messages
+    };
+
+    // A bioinformatics-style campaign: 5000 sequence-alignment jobs whose
+    // cost is Poisson-distributed around 2 GFLOP (heavier tail than
+    // uniform), arriving as a Poisson stream averaging one job per 50 ms —
+    // a burst of submissions at campaign start.
+    let workload = WorkloadSpec {
+        count: 5000,
+        sizes: SizeDistribution::Poisson { lambda: 2000.0 },
+        arrival: ArrivalProcess::PoissonStream { mean_interarrival: 0.05 },
+    };
+
+    let seed = 250_2005;
+    let run = |name: &str, sched: Box<dyn Scheduler>| {
+        let cluster = cluster_spec.build(seed);
+        let tasks = workload.generate(seed);
+        let total_mflops: f64 = tasks.iter().map(|t| t.mflops).sum();
+        let report = Simulation::new(cluster, tasks, sched, SimConfig::default())
+            .run()
+            .expect("simulation completes");
+        println!(
+            "{name}: makespan {:>8.1} s | efficiency {:.4} | {} tasks | {:.1} GFLOP total | {} plans",
+            report.makespan,
+            report.efficiency,
+            report.tasks_completed,
+            total_mflops / 1000.0,
+            report.plan_invocations,
+        );
+        report.makespan
+    };
+
+    println!("campus grid: {procs} PCs, day/night availability, 5000 bursty jobs\n");
+
+    let pn = {
+        let mut cfg = PnConfig::default();
+        cfg.initial_batch = 500;
+        cfg.max_batch = 1000;
+        run("PN", Box::new(PnScheduler::new(procs, cfg)))
+    };
+    let ef = run("EF", Box::new(EarliestFinish::new(procs)));
+
+    println!(
+        "\nPN finished the campaign {:.1}% {} than earliest-finish",
+        (pn - ef).abs() / ef * 100.0,
+        if pn < ef { "faster" } else { "slower" }
+    );
+}

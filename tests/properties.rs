@@ -1,0 +1,148 @@
+//! Property-based integration tests: randomised clusters, workloads, and
+//! scheduler choices must always satisfy the simulator's invariants.
+
+use dts::core::{PnConfig, PnScheduler};
+use dts::model::{
+    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler,
+    SizeDistribution, WorkloadSpec,
+};
+use dts::schedulers::{EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin};
+use dts::sim::{SimConfig, Simulation};
+use proptest::prelude::*;
+
+fn size_dist_strategy() -> impl Strategy<Value = SizeDistribution> {
+    prop_oneof![
+        (10.0..500.0f64, 500.0..5000.0f64)
+            .prop_map(|(lo, hi)| SizeDistribution::Uniform { lo, hi }),
+        (100.0..2000.0f64, 1.0e4..1.0e6f64)
+            .prop_map(|(mean, variance)| SizeDistribution::Normal { mean, variance }),
+        (5.0..200.0f64).prop_map(|lambda| SizeDistribution::Poisson { lambda }),
+        (1.0..5000.0f64).prop_map(|value| SizeDistribution::Constant { value }),
+    ]
+}
+
+fn arrival_strategy() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        Just(ArrivalProcess::AllAtStart),
+        (0.01..5.0f64).prop_map(|m| ArrivalProcess::PoissonStream { mean_interarrival: m }),
+        (1.0..100.0f64).prop_map(|w| ArrivalProcess::UniformOver { window: w }),
+    ]
+}
+
+fn availability_strategy() -> impl Strategy<Value = AvailabilityModel> {
+    prop_oneof![
+        Just(AvailabilityModel::Dedicated),
+        (0.1..1.0f64).prop_map(|fraction| AvailabilityModel::Fixed { fraction }),
+        (0.1..0.4f64, 0.6..1.0f64, 1.0..50.0f64).prop_map(|(min, max, period)| {
+            AvailabilityModel::RandomWalk {
+                min,
+                max,
+                step: 0.2,
+                period,
+            }
+        }),
+    ]
+}
+
+fn scheduler_for(idx: usize, procs: usize) -> Box<dyn Scheduler> {
+    match idx % 6 {
+        0 => Box::new(EarliestFinish::new(procs)),
+        1 => Box::new(LightestLoaded::new(procs)),
+        2 => Box::new(RoundRobin::new(procs)),
+        3 => Box::new(MinMin::with_batch_size(procs, 16)),
+        4 => Box::new(MaxMin::with_batch_size(procs, 16)),
+        _ => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 16;
+            cfg.max_batch = 16;
+            cfg.ga.max_generations = 15;
+            Box::new(PnScheduler::new(procs, cfg))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the workload, cluster, availability model and scheduler:
+    /// the simulation terminates, conserves tasks and work, keeps
+    /// efficiency in [0, 1], and respects the capacity lower bound.
+    #[test]
+    fn simulation_invariants_hold(
+        procs in 1usize..10,
+        tasks in 1usize..60,
+        comm in 0.0..20.0f64,
+        sizes in size_dist_strategy(),
+        arrival in arrival_strategy(),
+        availability in availability_strategy(),
+        sched_idx in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let cluster_spec = ClusterSpec {
+            processors: procs,
+            rating: SizeDistribution::Uniform { lo: 10.0, hi: 100.0 },
+            availability,
+            comm: CommCostSpec::with_mean(comm),
+        };
+        let cluster = cluster_spec.build(seed);
+        let capacity = cluster.total_rated_mflops();
+        let workload = WorkloadSpec { count: tasks, sizes, arrival };
+        let task_set = workload.generate(seed);
+        let total_mflops: f64 = task_set.iter().map(|t| t.mflops).sum();
+        let last_arrival = task_set.last().map(|t| t.arrival.seconds()).unwrap_or(0.0);
+
+        let report = Simulation::new(
+            cluster,
+            task_set,
+            scheduler_for(sched_idx, procs),
+            SimConfig::default(),
+        )
+        .run()
+        .expect("simulation must terminate");
+
+        prop_assert_eq!(report.tasks_completed, tasks as u64);
+        prop_assert!((0.0..=1.0).contains(&report.efficiency));
+        let done: f64 = report.per_proc.iter().map(|p| p.mflops_done).sum();
+        prop_assert!((done - total_mflops).abs() <= total_mflops * 1e-9 + 1e-9);
+        // Makespan can never beat perfect parallelism over rated capacity,
+        // nor finish before the last arrival.
+        prop_assert!(report.makespan + 1e-9 >= total_mflops / capacity);
+        prop_assert!(report.makespan + 1e-9 >= last_arrival);
+        // Accounting: busy time per worker bounded by the run length.
+        for p in &report.per_proc {
+            prop_assert!(p.processing + p.communicating <= report.makespan * (1.0 + 1e-9));
+        }
+    }
+
+    /// Workload generation is a pure function of (spec, seed).
+    #[test]
+    fn workload_generation_deterministic(
+        tasks in 1usize..200,
+        sizes in size_dist_strategy(),
+        arrival in arrival_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = WorkloadSpec { count: tasks, sizes, arrival };
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cluster generation respects its own spec.
+    #[test]
+    fn cluster_generation_valid(
+        procs in 1usize..64,
+        comm in 0.0..50.0f64,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = ClusterSpec::paper_defaults(procs, comm);
+        let c = spec.build(seed);
+        prop_assert_eq!(c.len(), procs);
+        for p in &c.processors {
+            prop_assert!(p.rated_mflops >= 1.0);
+        }
+        for l in &c.links {
+            prop_assert!(l.mean_cost >= 0.0);
+        }
+    }
+}
