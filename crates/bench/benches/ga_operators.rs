@@ -12,7 +12,10 @@ use dts_ga::{Chromosome, CrossoverOp, CycleCrossover, MutationOp, Problem, SwapM
 use dts_model::SizeDistribution;
 
 fn setup() -> (Vec<dts_model::Task>, Vec<dts_core::fitness::ProcessorState>) {
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
     (batch_tasks(200, &sizes, 1), batch_processors(50, 2))
 }
 

@@ -24,7 +24,10 @@ fn view(m: usize) -> SystemView {
 }
 
 fn bench_plan(c: &mut Criterion) {
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
     let tasks = batch_tasks(200, &sizes, 7);
     let v = view(50);
 

@@ -13,7 +13,10 @@ fn bench_simulation(c: &mut Criterion) {
         let cluster_spec = ClusterSpec::paper_defaults(procs, 5.0);
         let workload = WorkloadSpec::batch(
             tasks,
-            SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 1000.0,
+            },
         );
         group.bench_function(format!("{tasks}tasks_{procs}procs"), |bench| {
             bench.iter(|| {

@@ -1,7 +1,7 @@
 //! Ablation A6 — batch size: fixed batches of 50–400 versus the §3.7
 //! dynamic rule, measured on the full simulator (makespan + efficiency).
 
-use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_bench::{env_or, write_csv, Scenario, SchedulerKind, Table};
 use dts_model::SizeDistribution;
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
 
     let base = |reps| {
         let mut s = Scenario::paper_base(
-            SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+            SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
             1000,
             reps,
         );

@@ -3,19 +3,27 @@
 //! disabled isolates how much of its advantage comes from prediction
 //! versus the GA machinery itself.
 
-use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_bench::{env_or, write_csv, Scenario, SchedulerKind, Table};
 use dts_model::SizeDistribution;
 
 fn main() {
     let reps: usize = env_or("DTS_REPS", 8);
     let mut table = Table::new(
         format!("A7 comm prediction on/off (PN, {reps} reps)"),
-        &["mean_comm_cost", "eff_with_comm", "eff_without", "advantage_%"],
+        &[
+            "mean_comm_cost",
+            "eff_with_comm",
+            "eff_without",
+            "advantage_%",
+        ],
     );
     for comm in [10.0, 25.0, 50.0, 100.0] {
         let base = |use_comm: bool| {
             let mut s = Scenario::paper_base(
-                SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+                SizeDistribution::Normal {
+                    mean: 1000.0,
+                    variance: 9.0e5,
+                },
                 500,
                 reps,
             );

@@ -8,7 +8,9 @@ use dts_bench::{env_or, write_csv, Table};
 use dts_core::batch_run::schedule_batch_with_ops;
 use dts_core::PnConfig;
 use dts_distributions::{OnlineStats, SeedSequence};
-use dts_ga::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, RouletteWheel, SwapMutation};
+use dts_ga::{
+    CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, RouletteWheel, SwapMutation,
+};
 use dts_model::SizeDistribution;
 
 fn main() {
@@ -17,7 +19,10 @@ fn main() {
     let reps: usize = env_or("DTS_REPS", 10);
     let gens: u32 = env_or("DTS_GENS", 400);
     let seed: u64 = env_or("DTS_SEED", 20_050_404);
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
 
     let ops: Vec<(&str, Box<dyn CrossoverOp>)> = vec![
         ("cycle (paper)", Box::new(CycleCrossover)),
@@ -39,8 +44,14 @@ fn main() {
             let mut cfg = PnConfig::default();
             cfg.ga.max_generations = gens;
             let out = schedule_batch_with_ops(
-                &tasks, &procs, &cfg, &RouletteWheel, op.as_ref(), &SwapMutation,
-                None, sub.next_seed(),
+                &tasks,
+                &procs,
+                &cfg,
+                &RouletteWheel,
+                op.as_ref(),
+                &SwapMutation,
+                None,
+                sub.next_seed(),
             );
             stats.push(out.best_makespan);
         }

@@ -16,11 +16,19 @@ fn main() {
     let reps: usize = env_or("DTS_REPS", 10);
     let gens: u32 = env_or("DTS_GENS", 400);
     let seed: u64 = env_or("DTS_SEED", 20_050_404);
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
 
     let mut table = Table::new(
         format!("A3 initial-population randomness (H={h}, M={m}, {gens} gens, {reps} reps)"),
-        &["random_fraction", "initial_makespan", "final_makespan", "ci95"],
+        &[
+            "random_fraction",
+            "initial_makespan",
+            "final_makespan",
+            "ci95",
+        ],
     );
     for fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let seq = SeedSequence::new(seed);

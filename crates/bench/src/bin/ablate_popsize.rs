@@ -17,7 +17,10 @@ fn main() {
     let reps: usize = env_or("DTS_REPS", 8);
     let gens: u32 = env_or("DTS_GENS", 400);
     let seed: u64 = env_or("DTS_SEED", 20_050_404);
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
 
     let mut table = Table::new(
         format!("A5 population size (H={h}, M={m}, {gens} gens, {reps} reps)"),

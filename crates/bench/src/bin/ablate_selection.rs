@@ -16,7 +16,10 @@ fn main() {
     let reps: usize = env_or("DTS_REPS", 10);
     let gens: u32 = env_or("DTS_GENS", 400);
     let seed: u64 = env_or("DTS_SEED", 20_050_404);
-    let sizes = SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 };
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
 
     let ops: Vec<(&str, Box<dyn SelectionOp>)> = vec![
         ("roulette (paper)", Box::new(RouletteWheel)),
@@ -38,8 +41,14 @@ fn main() {
             let mut cfg = PnConfig::default();
             cfg.ga.max_generations = gens;
             let out = schedule_batch_with_ops(
-                &tasks, &procs, &cfg, op.as_ref(), &CycleCrossover, &SwapMutation,
-                None, sub.next_seed(),
+                &tasks,
+                &procs,
+                &cfg,
+                op.as_ref(),
+                &CycleCrossover,
+                &SwapMutation,
+                None,
+                sub.next_seed(),
             );
             stats.push(out.best_makespan);
         }

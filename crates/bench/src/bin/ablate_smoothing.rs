@@ -3,7 +3,7 @@
 //! ν = 1 chases the last message. Where is the sweet spot for PN's
 //! efficiency under costly, jittery communication?
 
-use dts_bench::{env_or, write_csv, SchedulerKind, Scenario, Table};
+use dts_bench::{env_or, write_csv, Scenario, SchedulerKind, Table};
 use dts_model::SizeDistribution;
 
 fn main() {
@@ -15,7 +15,10 @@ fn main() {
     );
     for nu in [0.05, 0.1, 0.3, 0.6, 1.0] {
         let mut s = Scenario::paper_base(
-            SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+            SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
             500,
             reps,
         );

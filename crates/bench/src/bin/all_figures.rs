@@ -6,9 +6,22 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-        "ablate_selection", "ablate_crossover", "ablate_init", "ablate_smoothing",
-        "ablate_popsize", "ablate_batch", "ablate_comm",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "ablate_selection",
+        "ablate_crossover",
+        "ablate_init",
+        "ablate_smoothing",
+        "ablate_popsize",
+        "ablate_batch",
+        "ablate_comm",
     ];
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");

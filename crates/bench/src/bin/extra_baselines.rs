@@ -3,7 +3,7 @@
 //! reference [11], on the Fig. 5 workload at a moderate communication
 //! cost.
 
-use dts_bench::{env_or, write_csv, Scenario, SchedulerKind, Table, ALL_SCHEDULERS};
+use dts_bench::{env_or, write_csv, Scenario, Table, ALL_SCHEDULERS};
 use dts_model::{Scheduler, SizeDistribution};
 use dts_schedulers::{KPercentBest, Olb, Sufferage};
 use dts_sim::run_replicated;
@@ -12,7 +12,10 @@ fn main() {
     let comm: f64 = env_or("DTS_COMM", 20.0);
     let reps: usize = env_or("DTS_REPS", 8);
     let scenario = Scenario::paper_base(
-        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+        SizeDistribution::Normal {
+            mean: 1000.0,
+            variance: 9.0e5,
+        },
         1000,
         reps,
     )
@@ -41,7 +44,10 @@ fn main() {
     let extras: Vec<(&str, Box<dyn Fn(usize) -> Box<dyn Scheduler> + Sync>)> = vec![
         ("OLB", Box::new(|n| Box::new(Olb::new(n)))),
         ("KPB", Box::new(|n| Box::new(KPercentBest::new(n, 0.2)))),
-        ("SUF", Box::new(|n| Box::new(Sufferage::with_batch_size(n, 200)))),
+        (
+            "SUF",
+            Box::new(|n| Box::new(Sufferage::with_batch_size(n, 200))),
+        ),
     ];
     for (label, factory) in &extras {
         let f = |n: usize, _seed: u64| factory(n);

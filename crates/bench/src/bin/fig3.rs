@@ -32,7 +32,11 @@ fn main() {
     println!(
         "paper: ~0.75 / ~0.70 / ~0.65 — rebalancing beats pure GA: {}; R50 ≤ R1 (within 0.02): {}",
         if rebalance_wins { "HOLDS" } else { "VIOLATED" },
-        if heavy_close_to_light { "HOLDS" } else { "VIOLATED" }
+        if heavy_close_to_light {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     let path = write_csv(&table, "fig3").expect("write CSV");
     eprintln!("wrote {}", path.display());

@@ -9,7 +9,10 @@ use dts_bench::write_csv;
 use dts_model::SizeDistribution;
 
 fn main() {
-    let sizes = SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 };
+    let sizes = SizeDistribution::Uniform {
+        lo: 10.0,
+        hi: 1000.0,
+    };
     let table = efficiency_sweep("Fig. 7", sizes, &paper_inv_cost_axis(), 1000, 10);
     println!("{}", table.render());
     let path = write_csv(&table, "fig7").expect("write CSV");

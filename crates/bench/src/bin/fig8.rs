@@ -10,7 +10,10 @@ use dts_model::SizeDistribution;
 
 fn main() {
     let comm: f64 = env_or("DTS_COMM", 20.0);
-    let sizes = SizeDistribution::Uniform { lo: 10.0, hi: 100.0 };
+    let sizes = SizeDistribution::Uniform {
+        lo: 10.0,
+        hi: 100.0,
+    };
     let table = makespan_bars("Fig. 8", sizes, comm, 1000, 10);
     println!("{}", table.render());
     let path = write_csv(&table, "fig8").expect("write CSV");

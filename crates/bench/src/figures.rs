@@ -82,11 +82,7 @@ pub fn convergence_series(
     }
 
     let mut header = vec!["generation".to_string()];
-    header.extend(
-        rebalance_settings
-            .iter()
-            .map(|r| format!("ratio_R{r}")),
-    );
+    header.extend(rebalance_settings.iter().map(|r| format!("ratio_R{r}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = Table::new(
         format!("Fig. 3 — makespan ratio vs generation (H={h}, M={m}, {reps} runs)"),
@@ -170,7 +166,11 @@ pub fn linear_fit(points: &[(u32, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|p| (p.1 - (a + b * p.0 as f64)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (a, b, r2)
 }
 

@@ -70,12 +70,7 @@ impl SchedulerKind {
     }
 
     /// Builds with explicit options (batch sizes, GA caps).
-    pub fn build_with(
-        self,
-        n_procs: usize,
-        seed: u64,
-        opts: &BuildOptions,
-    ) -> Box<dyn Scheduler> {
+    pub fn build_with(self, n_procs: usize, seed: u64, opts: &BuildOptions) -> Box<dyn Scheduler> {
         match self {
             SchedulerKind::Ef => Box::new(EarliestFinish::new(n_procs)),
             SchedulerKind::Ll => Box::new(LightestLoaded::new(n_procs)),

@@ -2,9 +2,7 @@
 //! parameterisations, plus environment-variable scaling.
 
 use dts_distributions::{OnlineStats, SeedSequence};
-use dts_model::{
-    AvailabilityModel, ClusterSpec, CommCostSpec, SizeDistribution, WorkloadSpec,
-};
+use dts_model::{AvailabilityModel, ClusterSpec, CommCostSpec, SizeDistribution, WorkloadSpec};
 use dts_sim::{run_replicated, SimConfig, SimReport};
 
 use crate::roster::{BuildOptions, SchedulerKind};
@@ -19,7 +17,9 @@ pub fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
 
 /// True when the environment flag is set to a non-empty, non-"0" value.
 pub fn env_flag(name: &str) -> bool {
-    std::env::var(name).map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    std::env::var(name)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// A fully specified experiment scenario: cluster + workload + replication.
@@ -56,7 +56,9 @@ impl Scenario {
         let reps: usize = env_or("DTS_REPS", default_reps);
         let threads: usize = env_or(
             "DTS_THREADS",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         );
         let seed: u64 = env_or("DTS_SEED", 20_050_404);
         Self {
@@ -122,10 +124,7 @@ pub struct ScenarioResult {
 }
 
 impl ScenarioResult {
-    fn aggregate(
-        kind: SchedulerKind,
-        reports: Vec<Result<SimReport, dts_sim::SimError>>,
-    ) -> Self {
+    fn aggregate(kind: SchedulerKind, reports: Vec<Result<SimReport, dts_sim::SimError>>) -> Self {
         let mut makespan = OnlineStats::new();
         let mut efficiency = OnlineStats::new();
         let mut failures = 0;
@@ -165,7 +164,10 @@ mod tests {
     #[test]
     fn scenario_runs_a_heuristic() {
         let mut s = Scenario::paper_base(
-            SizeDistribution::Uniform { lo: 10.0, hi: 100.0 },
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 100.0,
+            },
             60,
             3,
         );
@@ -182,7 +184,10 @@ mod tests {
     fn comm_cost_reduces_efficiency() {
         let base = {
             let mut s = Scenario::paper_base(
-                SizeDistribution::Uniform { lo: 100.0, hi: 500.0 },
+                SizeDistribution::Uniform {
+                    lo: 100.0,
+                    hi: 500.0,
+                },
                 60,
                 3,
             );

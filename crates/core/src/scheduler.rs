@@ -17,9 +17,7 @@
 use std::collections::VecDeque;
 
 use dts_distributions::{Prng, Rng};
-use dts_model::{
-    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
-};
+use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use crate::batch_run::schedule_batch_capped;
 use crate::batching::BatchSizer;
@@ -131,10 +129,10 @@ impl Scheduler for PnScheduler {
             // A processor is already idle: compute the bare minimum.
             None => self.config.min_generations,
             Some(secs) => {
-                let affordable =
-                    self.config
-                        .time_model
-                        .generations_within(secs, h, m, rho, rebalances);
+                let affordable = self
+                    .config
+                    .time_model
+                    .generations_within(secs, h, m, rho, rebalances);
                 affordable.max(self.config.min_generations)
             }
         };

@@ -43,13 +43,7 @@ impl Default for GaTimeModel {
 impl GaTimeModel {
     /// Cost of one generation for batch size `h`, `m` processors,
     /// population `rho` and `rebalances` rebalance attempts per individual.
-    pub fn seconds_per_generation(
-        &self,
-        h: usize,
-        m: usize,
-        rho: usize,
-        rebalances: u32,
-    ) -> f64 {
+    pub fn seconds_per_generation(&self, h: usize, m: usize, rho: usize, rebalances: u32) -> f64 {
         let genes = (h + m.saturating_sub(1)) as f64;
         self.per_gene
             * rho as f64

@@ -1,0 +1,217 @@
+//! Offline, in-tree shim of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The dts build environment has no network access to crates.io, so this
+//! workspace vendors the subset of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a fixed warm-up, then `sample_size`
+//! timed samples whose per-iteration medians are reported — but the printed
+//! `ns/iter` figures are real wall-clock measurements, good enough to rank
+//! operators and catch order-of-magnitude regressions. Pass `--quick` (or
+//! run under `cargo test`) to do a single-iteration smoke pass.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+        Self {
+            sample_size: 20,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let quick = self.quick;
+        run_one(&id.into(), sample_size, quick, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.criterion.quick, f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: bool, mut f: F) {
+    let (samples, iters) = if quick { (1, 1) } else { (sample_size, 0) };
+
+    // Calibrate iteration count so one sample takes ~10ms (min 1 iter).
+    let iters = if iters > 0 {
+        iters
+    } else {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        ((Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)) as u64)
+            .clamp(1, 10_000)
+    };
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    println!("bench: {id:<40} median {median:>12.1} ns/iter (best {best:.1}, {samples} samples x {iters} iters)");
+}
+
+/// Declares a benchmark group function calling each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            sample_size: 2,
+            quick: true,
+        };
+        let mut hits = 0u32;
+        c.bench_function("smoke", |b| {
+            hits += 1;
+            b.iter(|| 1 + 1)
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion {
+            sample_size: 1,
+            quick: true,
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -384,9 +384,7 @@ mod tests {
         let d = Normal::new(0.0, 1.0).unwrap();
         let mut rng = Xoshiro256PlusPlus::seed_from(13);
         let n = 100_000;
-        let above = (0..n)
-            .filter(|_| sample_with(&d, &mut rng) > 0.0)
-            .count();
+        let above = (0..n).filter(|_| sample_with(&d, &mut rng) > 0.0).count();
         let frac = above as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.01, "P(X>0) = {frac}");
     }

@@ -290,8 +290,7 @@ mod tests {
         let xs = [1.5, 2.5, 2.5, 2.75, 3.25, 4.75];
         let s: OnlineStats = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-12);
         assert_eq!(s.min(), 1.5);

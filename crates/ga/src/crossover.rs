@@ -15,8 +15,7 @@ pub trait CrossoverOp: Send + Sync {
     /// Recombines `a` and `b`. Implementations must preserve the symbol
     /// multiset (each task slot and delimiter appears exactly once in each
     /// child).
-    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng)
-        -> (Chromosome, Chromosome);
+    fn cross(&self, a: &Chromosome, b: &Chromosome, rng: &mut Prng) -> (Chromosome, Chromosome);
 
     /// Short label for experiment tables.
     fn label(&self) -> &'static str;
@@ -42,12 +41,7 @@ fn position_table(c: &Chromosome) -> Vec<u32> {
 pub struct CycleCrossover;
 
 impl CrossoverOp for CycleCrossover {
-    fn cross(
-        &self,
-        a: &Chromosome,
-        b: &Chromosome,
-        _rng: &mut Prng,
-    ) -> (Chromosome, Chromosome) {
+    fn cross(&self, a: &Chromosome, b: &Chromosome, _rng: &mut Prng) -> (Chromosome, Chromosome) {
         assert!(a.same_symbol_set(b), "parents must share a symbol set");
         let n = a.genes().len();
         let h = a.n_tasks() as usize;
@@ -136,10 +130,7 @@ impl CrossoverOp for OrderCrossover {
         let i = rng.below(n);
         let j = rng.below(n);
         let (lo, hi) = if i <= j { (i, j + 1) } else { (j, i + 1) };
-        (
-            Self::one_child(a, b, lo, hi),
-            Self::one_child(b, a, lo, hi),
-        )
+        (Self::one_child(a, b, lo, hi), Self::one_child(b, a, lo, hi))
     }
 
     fn label(&self) -> &'static str {
@@ -194,12 +185,7 @@ impl CrossoverOp for OnePointOrder {
 pub struct PartiallyMapped;
 
 impl PartiallyMapped {
-    fn one_child(
-        base: &Chromosome,
-        donor: &Chromosome,
-        lo: usize,
-        hi: usize,
-    ) -> Chromosome {
+    fn one_child(base: &Chromosome, donor: &Chromosome, lo: usize, hi: usize) -> Chromosome {
         let n = base.genes().len();
         let h = base.n_tasks() as usize;
         let mut child: Vec<Gene> = base.genes().to_vec();
@@ -234,10 +220,7 @@ impl CrossoverOp for PartiallyMapped {
         let i = rng.below(n);
         let j = rng.below(n);
         let (lo, hi) = if i <= j { (i, j + 1) } else { (j, i + 1) };
-        (
-            Self::one_child(a, b, lo, hi),
-            Self::one_child(b, a, lo, hi),
-        )
+        (Self::one_child(a, b, lo, hi), Self::one_child(b, a, lo, hi))
     }
 
     fn label(&self) -> &'static str {

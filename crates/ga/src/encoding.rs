@@ -251,10 +251,7 @@ mod tests {
     fn assignments_iterate_in_queue_order() {
         let c = Chromosome::from_queues(&[vec![5, 1], vec![0], vec![2, 3, 4]]);
         let pairs: Vec<_> = c.assignments().collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 5), (0, 1), (1, 0), (2, 2), (2, 3), (2, 4)]
-        );
+        assert_eq!(pairs, vec![(0, 5), (0, 1), (1, 0), (2, 2), (2, 3), (2, 4)]);
     }
 
     #[test]

@@ -150,7 +150,10 @@ impl<'a> GaEngine<'a> {
         mutation: &'a dyn MutationOp,
         config: GaConfig,
     ) -> Self {
-        assert!(config.population_size >= 2, "population needs ≥ 2 individuals");
+        assert!(
+            config.population_size >= 2,
+            "population needs ≥ 2 individuals"
+        );
         assert!(
             config.elitism < config.population_size,
             "elitism must leave room for offspring"
@@ -270,9 +273,7 @@ impl<'a> GaEngine<'a> {
                 let pa = self.selection.select(&fitness_buf, rng);
                 let pb = self.selection.select(&fitness_buf, rng);
                 if rng.chance(self.config.crossover_rate) {
-                    let (ca, cb) =
-                        self.crossover
-                            .cross(&pop[pa].chrom, &pop[pb].chrom, rng);
+                    let (ca, cb) = self.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
                     next.push(self.evaluate(problem, ca));
                     if next.len() < pop_size {
                         next.push(self.evaluate(problem, cb));
@@ -481,12 +482,7 @@ mod tests {
             fn makespan(&self, c: &Chromosome) -> f64 {
                 c.queue_lengths().into_iter().max().unwrap_or(0) as f64
             }
-            fn improve(
-                &self,
-                c: &mut Chromosome,
-                current: f64,
-                _rng: &mut Prng,
-            ) -> Option<f64> {
+            fn improve(&self, c: &mut Chromosome, current: f64, _rng: &mut Prng) -> Option<f64> {
                 let mut queues = c.to_queues();
                 let (longest, shortest) = {
                     let mut longest = 0;

@@ -22,7 +22,13 @@ fn chromosome(h: u32, m: u16, deal: Vec<u16>) -> Chromosome {
 }
 
 fn chromosome_strategy() -> impl Strategy<Value = (Chromosome, Chromosome, u64)> {
-    (1u32..80, 1u16..12, proptest::collection::vec(0u16..12, 1..80), proptest::collection::vec(0u16..12, 1..80), 0u64..u64::MAX)
+    (
+        1u32..80,
+        1u16..12,
+        proptest::collection::vec(0u16..12, 1..80),
+        proptest::collection::vec(0u16..12, 1..80),
+        0u64..u64::MAX,
+    )
         .prop_map(|(h, m, deal_a, deal_b, seed)| {
             (chromosome(h, m, deal_a), chromosome(h, m, deal_b), seed)
         })

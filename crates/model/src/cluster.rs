@@ -32,7 +32,10 @@ impl ClusterSpec {
     pub fn paper_defaults(processors: usize, mean_comm_cost: f64) -> Self {
         Self {
             processors,
-            rating: SizeDistribution::Uniform { lo: 50.0, hi: 150.0 },
+            rating: SizeDistribution::Uniform {
+                lo: 50.0,
+                hi: 150.0,
+            },
             availability: AvailabilityModel::Dedicated,
             comm: CommCostSpec::with_mean(mean_comm_cost),
         }
@@ -41,7 +44,10 @@ impl ClusterSpec {
     /// Builds a concrete cluster; identical `(spec, seed)` pairs produce
     /// identical clusters.
     pub fn build(&self, seed: u64) -> Cluster {
-        assert!(self.processors > 0, "a cluster needs at least one processor");
+        assert!(
+            self.processors > 0,
+            "a cluster needs at least one processor"
+        );
         let mut seq = SeedSequence::new(seed);
         let mut rng = Prng::seed_from(seq.next_seed());
         let rating_dist = self.rating.to_distribution();

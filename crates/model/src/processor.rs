@@ -126,9 +126,7 @@ impl AvailabilityModel {
     pub fn step(&self, state: &mut AvailabilityState) -> f64 {
         match self {
             AvailabilityModel::Dedicated | AvailabilityModel::Fixed { .. } => {}
-            AvailabilityModel::RandomWalk {
-                min, max, step, ..
-            } => {
+            AvailabilityModel::RandomWalk { min, max, step, .. } => {
                 let delta = state.rng.range_f64(-*step, *step);
                 state.alpha = (state.alpha + delta).clamp(*min, *max);
             }

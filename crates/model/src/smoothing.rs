@@ -34,7 +34,10 @@ impl Smoother {
     ///
     /// Panics unless `0 ≤ nu ≤ 1` (the paper defines ν on `[0, 1]`).
     pub fn new(nu: f64) -> Self {
-        assert!((0.0..=1.0).contains(&nu), "smoothing factor {nu} not in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&nu),
+            "smoothing factor {nu} not in [0,1]"
+        );
         Self { nu, value: None }
     }
 

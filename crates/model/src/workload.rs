@@ -19,8 +19,8 @@
 //! by the examples and integration tests.
 
 use dts_distributions::{
-    Constant, Distribution, DistributionExt, Exponential, Normal, Poisson, Prng, Rng,
-    SeedSequence, Uniform,
+    Constant, Distribution, DistributionExt, Exponential, Normal, Poisson, Prng, Rng, SeedSequence,
+    Uniform,
 };
 
 use crate::task::{Task, TaskId};
@@ -203,7 +203,13 @@ mod tests {
 
     #[test]
     fn batch_arrivals_all_zero() {
-        let spec = WorkloadSpec::batch(100, SizeDistribution::Uniform { lo: 10.0, hi: 100.0 });
+        let spec = WorkloadSpec::batch(
+            100,
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 100.0,
+            },
+        );
         let tasks = spec.generate(1);
         assert_eq!(tasks.len(), 100);
         assert!(tasks.iter().all(|t| t.arrival == SimTime::ZERO));
@@ -254,7 +260,11 @@ mod tests {
         assert!(tasks.iter().all(|t| t.mflops >= MIN_TASK_MFLOPS));
         let stats: OnlineStats = tasks.iter().map(|t| t.mflops).collect();
         // Truncation raises the mean above 1000; it must stay in a sane band.
-        assert!(stats.mean() > 1000.0 && stats.mean() < 1500.0, "{}", stats.mean());
+        assert!(
+            stats.mean() > 1000.0 && stats.mean() < 1500.0,
+            "{}",
+            stats.mean()
+        );
     }
 
     #[test]
@@ -269,7 +279,13 @@ mod tests {
 
     #[test]
     fn uniform_workload_respects_bounds() {
-        let spec = WorkloadSpec::batch(2000, SizeDistribution::Uniform { lo: 10.0, hi: 10000.0 });
+        let spec = WorkloadSpec::batch(
+            2000,
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 10000.0,
+            },
+        );
         let tasks = spec.generate(5);
         for t in &tasks {
             assert!((10.0..10000.0).contains(&t.mflops));
@@ -291,7 +307,11 @@ mod tests {
     #[test]
     fn labels_are_descriptive() {
         assert_eq!(
-            SizeDistribution::Uniform { lo: 10.0, hi: 100.0 }.label(),
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 100.0
+            }
+            .label(),
             "uniform[10,100)"
         );
         assert!(SizeDistribution::Poisson { lambda: 10.0 }
@@ -302,9 +322,6 @@ mod tests {
     #[test]
     fn mean_passthrough() {
         assert_eq!(SizeDistribution::Constant { value: 3.0 }.mean(), 3.0);
-        assert_eq!(
-            SizeDistribution::Uniform { lo: 0.0, hi: 10.0 }.mean(),
-            5.0
-        );
+        assert_eq!(SizeDistribution::Uniform { lo: 0.0, hi: 10.0 }.mean(), 5.0);
     }
 }

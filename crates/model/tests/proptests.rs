@@ -3,8 +3,7 @@
 
 use dts_distributions::Prng;
 use dts_model::{
-    AvailabilityModel, CommCostSpec, Link, ProcessorId, SimTime, Smoother, Task, TaskId,
-    TaskQueues,
+    AvailabilityModel, CommCostSpec, Link, ProcessorId, SimTime, Smoother, Task, TaskId, TaskQueues,
 };
 use proptest::prelude::*;
 

@@ -7,9 +7,7 @@
 
 use std::collections::VecDeque;
 
-use dts_model::{
-    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
-};
+use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use crate::cost::{immediate_scan_cost, round_robin_cost};
 

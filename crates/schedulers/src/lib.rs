@@ -38,4 +38,4 @@ pub mod zomaya;
 pub use immediate::{EarliestFinish, LightestLoaded, RoundRobin};
 pub use maheswaran::{KPercentBest, Olb, Sufferage};
 pub use minmax::{MaxMin, MinMin};
-pub use zomaya::{Zomaya, ZoConfig};
+pub use zomaya::{ZoConfig, Zomaya};

@@ -21,9 +21,7 @@
 
 use std::collections::VecDeque;
 
-use dts_model::{
-    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
-};
+use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use crate::cost::{immediate_scan_cost, sorted_batch_cost};
 
@@ -71,9 +69,8 @@ impl Scheduler for Olb {
             let mut best_ready = f64::INFINITY;
             for (j, p) in view.processors.iter().enumerate() {
                 let rate = p.rate_estimate.max(1e-9);
-                let ready = (self.queues.queued_mflops(ProcessorId(j as u16))
-                    + p.inflight_mflops)
-                    / rate;
+                let ready =
+                    (self.queues.queued_mflops(ProcessorId(j as u16)) + p.inflight_mflops) / rate;
                 if ready < best_ready {
                     best_ready = ready;
                     best = j;
@@ -272,7 +269,11 @@ impl Scheduler for SufferageSched {
                     }
                 }
                 // Single machine: sufferage degenerates to 0 everywhere.
-                let sufferage = if second.is_finite() { second - best } else { 0.0 };
+                let sufferage = if second.is_finite() {
+                    second - best
+                } else {
+                    0.0
+                };
                 if sufferage > pick_sufferage {
                     pick_sufferage = sufferage;
                     pick = t_idx;
@@ -287,8 +288,7 @@ impl Scheduler for SufferageSched {
         PlanOutcome {
             tasks_assigned: take,
             // Θ(n²·M): n rounds, each scanning every pending task × machine.
-            compute_seconds: crate::cost::SECONDS_PER_OP
-                * (take as f64 * take as f64 * m as f64),
+            compute_seconds: crate::cost::SECONDS_PER_OP * (take as f64 * take as f64 * m as f64),
             generations: 0,
         }
     }

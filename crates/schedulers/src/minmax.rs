@@ -10,9 +10,7 @@
 
 use std::collections::VecDeque;
 
-use dts_model::{
-    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
-};
+use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use crate::cost::sorted_batch_cost;
 

@@ -29,9 +29,7 @@ use dts_distributions::{Prng, Rng};
 use dts_ga::{
     Chromosome, CycleCrossover, GaConfig, GaEngine, Problem, RouletteWheel, SwapMutation,
 };
-use dts_model::{
-    PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues,
-};
+use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use dts_core::time_model::GaTimeModel;
 
@@ -310,9 +308,7 @@ mod tests {
             assert!(out.tasks_assigned > 0);
             assert!(out.generations > 0);
         }
-        let total: usize = (0..3)
-            .map(|i| s.queued_len(ProcessorId(i)))
-            .sum();
+        let total: usize = (0..3).map(|i| s.queued_len(ProcessorId(i))).sum();
         assert_eq!(total, 40);
     }
 

@@ -3,7 +3,9 @@
 
 use dts_model::sched::{ProcessorView, SystemView};
 use dts_model::{ProcessorId, Scheduler, SimTime, Task, TaskId};
-use dts_schedulers::{EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya};
+use dts_schedulers::{
+    EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
+};
 use proptest::prelude::*;
 
 fn view(rates: &[f64]) -> SystemView {

@@ -21,9 +21,9 @@
 
 use dts_distributions::Prng;
 use dts_model::{
-    Cluster, ProcessorId, Scheduler, SimTime, Smoother, Task,
     processor::AvailabilityState,
     sched::{ProcessorView, SystemView},
+    Cluster, ProcessorId, Scheduler, SimTime, Smoother, Task,
 };
 
 use crate::event::{EventKind, EventQueue};
@@ -376,8 +376,10 @@ impl Simulation {
             let pid = ProcessorId(i as u16);
             let cost = self.cluster.links[i].sample_cost(&mut self.rng);
             self.workers[i].breakdown.communicating += cost;
-            self.queue
-                .push(SimTime::ZERO + cost, EventKind::RequestArrives { proc: pid });
+            self.queue.push(
+                SimTime::ZERO + cost,
+                EventKind::RequestArrives { proc: pid },
+            );
         }
     }
 
@@ -488,7 +490,10 @@ impl Simulation {
         }
         self.queue.push(
             self.clock + link_cost,
-            EventKind::ResultArrives { proc, task: task.id },
+            EventKind::ResultArrives {
+                proc,
+                task: task.id,
+            },
         );
     }
 
@@ -621,8 +626,10 @@ impl Simulation {
         self.scheduler_busy += outcome.compute_seconds;
         self.last_plan_seconds = outcome.compute_seconds;
         self.host_busy = true;
-        self.queue
-            .push(self.clock + outcome.compute_seconds, EventKind::PlanComplete);
+        self.queue.push(
+            self.clock + outcome.compute_seconds,
+            EventKind::PlanComplete,
+        );
     }
 
     /// Estimated seconds until the first worker runs out of work, judging
@@ -682,8 +689,8 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dts_model::{AvailabilityModel, ClusterSpec, SizeDistribution, WorkloadSpec};
     use dts_model::link::CommCostSpec;
+    use dts_model::{AvailabilityModel, ClusterSpec, SizeDistribution, WorkloadSpec};
     use dts_schedulers::{EarliestFinish, RoundRobin};
 
     fn free_comm_cluster(n: usize, rate: f64) -> Cluster {
@@ -847,7 +854,10 @@ mod tests {
             let cluster = spec.build(3);
             let tasks = WorkloadSpec::batch(
                 60,
-                SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+                SizeDistribution::Uniform {
+                    lo: 10.0,
+                    hi: 1000.0,
+                },
             )
             .generate(4);
             let sched = Box::new(EarliestFinish::new(8));
@@ -869,7 +879,9 @@ mod tests {
         let sched = Box::new(RoundRobin::new(1));
         let mut cfg = SimConfig::default();
         cfg.max_events = 3;
-        let err = Simulation::new(cluster, tasks, sched, cfg).run().unwrap_err();
+        let err = Simulation::new(cluster, tasks, sched, cfg)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::EventLimit { .. }));
     }
 
@@ -880,7 +892,9 @@ mod tests {
         let sched = Box::new(RoundRobin::new(1));
         let mut cfg = SimConfig::default();
         cfg.max_seconds = 50.0;
-        let err = Simulation::new(cluster, tasks, sched, cfg).run().unwrap_err();
+        let err = Simulation::new(cluster, tasks, sched, cfg)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, SimError::TimeLimit { .. }));
     }
 
@@ -930,8 +944,7 @@ mod trace_tests {
     #[test]
     fn trace_absent_by_default() {
         let cluster = Cluster::homogeneous(2, 100.0);
-        let tasks =
-            WorkloadSpec::batch(4, SizeDistribution::Constant { value: 100.0 }).generate(2);
+        let tasks = WorkloadSpec::batch(4, SizeDistribution::Constant { value: 100.0 }).generate(2);
         let r = Simulation::new(
             cluster,
             tasks,

@@ -70,21 +70,19 @@ pub fn run_replicated(
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= replications {
                     break;
                 }
-                let report =
-                    run_simulation(cluster_spec, workload, factory, sim_config, seeds[i]);
+                let report = run_simulation(cluster_spec, workload, factory, sim_config, seeds[i]);
                 let mut guard = results_mutex.lock().expect("collector poisoned");
                 guard[i] = Some(report);
             });
         }
-    })
-    .expect("replication thread panicked");
+    });
 
     results
         .into_iter()
@@ -101,14 +99,21 @@ mod tests {
     fn spec() -> (ClusterSpec, WorkloadSpec) {
         (
             ClusterSpec::paper_defaults(6, 1.0),
-            WorkloadSpec::batch(48, SizeDistribution::Uniform { lo: 10.0, hi: 500.0 }),
+            WorkloadSpec::batch(
+                48,
+                SizeDistribution::Uniform {
+                    lo: 10.0,
+                    hi: 500.0,
+                },
+            ),
         )
     }
 
     #[test]
     fn single_run_completes() {
         let (c, w) = spec();
-        let factory = |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
+        let factory =
+            |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
         let r = run_simulation(&c, &w, &factory, &SimConfig::default(), 11).unwrap();
         assert_eq!(r.tasks_completed, 48);
         assert!(r.efficiency > 0.0 && r.efficiency <= 1.0);
@@ -117,7 +122,8 @@ mod tests {
     #[test]
     fn replications_differ_but_are_deterministic() {
         let (c, w) = spec();
-        let factory = |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
+        let factory =
+            |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
         let a = run_replicated(&c, &w, &factory, &SimConfig::default(), 5, 4, 1);
         let b = run_replicated(&c, &w, &factory, &SimConfig::default(), 5, 4, 1);
         let spans = |rs: &[Result<SimReport, SimError>]| -> Vec<f64> {
@@ -134,7 +140,8 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let (c, w) = spec();
-        let factory = |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
+        let factory =
+            |n: usize, _s: u64| -> Box<dyn Scheduler> { Box::new(EarliestFinish::new(n)) };
         let seq = run_replicated(&c, &w, &factory, &SimConfig::default(), 9, 6, 1);
         let par = run_replicated(&c, &w, &factory, &SimConfig::default(), 9, 6, 3);
         for (a, b) in seq.iter().zip(par.iter()) {

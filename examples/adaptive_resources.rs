@@ -52,7 +52,10 @@ fn main() {
     };
     let workload = WorkloadSpec::batch(
         400,
-        SizeDistribution::Uniform { lo: 100.0, hi: 2000.0 },
+        SizeDistribution::Uniform {
+            lo: 100.0,
+            hi: 2000.0,
+        },
     );
 
     let seed = 0xADA9;

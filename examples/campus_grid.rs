@@ -19,8 +19,8 @@
 
 use dts::core::{PnConfig, PnScheduler};
 use dts::model::{
-    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler,
-    SizeDistribution, WorkloadSpec,
+    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler, SizeDistribution,
+    WorkloadSpec,
 };
 use dts::schedulers::EarliestFinish;
 use dts::sim::{SimConfig, Simulation};
@@ -33,7 +33,10 @@ fn main() {
     // "day" phase.
     let cluster_spec = ClusterSpec {
         processors: procs,
-        rating: SizeDistribution::Uniform { lo: 100.0, hi: 1000.0 },
+        rating: SizeDistribution::Uniform {
+            lo: 100.0,
+            hi: 1000.0,
+        },
         availability: AvailabilityModel::TwoLevel {
             high: 1.0,
             low: 0.3,
@@ -50,7 +53,9 @@ fn main() {
     let workload = WorkloadSpec {
         count: 5000,
         sizes: SizeDistribution::Poisson { lambda: 2000.0 },
-        arrival: ArrivalProcess::PoissonStream { mean_interarrival: 0.05 },
+        arrival: ArrivalProcess::PoissonStream {
+            mean_interarrival: 0.05,
+        },
     };
 
     let seed = 250_2005;

@@ -30,7 +30,10 @@ fn main() {
     // The paper's Fig. 5 workload: Normal(μ = 1000 MFLOPs, σ² = 9·10⁵).
     let workload = WorkloadSpec::batch(
         tasks,
-        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+        SizeDistribution::Normal {
+            mean: 1000.0,
+            variance: 9.0e5,
+        },
     );
 
     let seed = 0x2005_0404;
@@ -38,19 +41,31 @@ fn main() {
         ("EF", Box::new(move || Box::new(EarliestFinish::new(procs)))),
         ("LL", Box::new(move || Box::new(LightestLoaded::new(procs)))),
         ("RR", Box::new(move || Box::new(RoundRobin::new(procs)))),
-        ("MM", Box::new(move || Box::new(MinMin::with_batch_size(procs, 100)))),
-        ("MX", Box::new(move || Box::new(MaxMin::with_batch_size(procs, 100)))),
-        ("ZO", Box::new(move || {
-            let mut cfg = ZoConfig::default();
-            cfg.batch_size = 100;
-            Box::new(Zomaya::new(procs, cfg))
-        })),
-        ("PN", Box::new(move || {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 100;
-            cfg.max_batch = 100;
-            Box::new(PnScheduler::new(procs, cfg))
-        })),
+        (
+            "MM",
+            Box::new(move || Box::new(MinMin::with_batch_size(procs, 100))),
+        ),
+        (
+            "MX",
+            Box::new(move || Box::new(MaxMin::with_batch_size(procs, 100))),
+        ),
+        (
+            "ZO",
+            Box::new(move || {
+                let mut cfg = ZoConfig::default();
+                cfg.batch_size = 100;
+                Box::new(Zomaya::new(procs, cfg))
+            }),
+        ),
+        (
+            "PN",
+            Box::new(move || {
+                let mut cfg = PnConfig::default();
+                cfg.initial_batch = 100;
+                cfg.max_batch = 100;
+                Box::new(PnScheduler::new(procs, cfg))
+            }),
+        ),
     ];
 
     println!(
@@ -70,7 +85,11 @@ fn main() {
             .expect("simulation completes");
         println!(
             "{:>4}  {:>12.1}  {:>10.4}  {:>10.3} s  {:>8}",
-            name, report.makespan, report.efficiency, report.scheduler_busy, report.plan_invocations
+            name,
+            report.makespan,
+            report.efficiency,
+            report.scheduler_busy,
+            report.plan_invocations
         );
         results.push((name, report.makespan, report.efficiency));
     }

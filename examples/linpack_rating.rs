@@ -50,8 +50,6 @@ fn main() {
         "a 1000-MFLOP task (the paper's mean task) would take ~{:.2} ms here",
         1000.0 / this_machine.rated_mflops * 1000.0
     );
-    println!(
-        "\n(2005 context: the paper's clusters were rated tens of Mflop/s per node;"
-    );
+    println!("\n(2005 context: the paper's clusters were rated tens of Mflop/s per node;");
     println!("modern hosts are 2-4 orders of magnitude faster.)");
 }

@@ -13,7 +13,9 @@ use dts::model::{SimTime, Task, TaskId};
 fn main() {
     // A small mixed batch: sizes in MFLOPs (millions of floating-point
     // operations), the paper's unit of work.
-    let sizes = [2400.0, 1800.0, 1200.0, 900.0, 600.0, 450.0, 300.0, 150.0, 75.0, 40.0];
+    let sizes = [
+        2400.0, 1800.0, 1200.0, 900.0, 600.0, 450.0, 300.0, 150.0, 75.0, 40.0,
+    ];
     let batch: Vec<Task> = sizes
         .iter()
         .enumerate()
@@ -24,9 +26,21 @@ fn main() {
     // Mflop/s; `comm_cost` the smoothed per-task communication estimate in
     // seconds; `existing_load_mflops` is work already queued there.
     let procs = vec![
-        ProcessorState { rate: 300.0, existing_load_mflops: 0.0, comm_cost: 0.2 },
-        ProcessorState { rate: 150.0, existing_load_mflops: 500.0, comm_cost: 0.1 },
-        ProcessorState { rate: 60.0, existing_load_mflops: 0.0, comm_cost: 1.5 },
+        ProcessorState {
+            rate: 300.0,
+            existing_load_mflops: 0.0,
+            comm_cost: 0.2,
+        },
+        ProcessorState {
+            rate: 150.0,
+            existing_load_mflops: 500.0,
+            comm_cost: 0.1,
+        },
+        ProcessorState {
+            rate: 60.0,
+            existing_load_mflops: 0.0,
+            comm_cost: 1.5,
+        },
     ];
 
     let config = PnConfig::default();
@@ -39,8 +53,7 @@ fn main() {
     for (j, queue) in outcome.queues.iter().enumerate() {
         let p = &procs[j];
         let load: f64 = queue.iter().map(|&s| batch[s as usize].mflops).sum();
-        let finish = (p.existing_load_mflops + load) / p.rate
-            + queue.len() as f64 * p.comm_cost;
+        let finish = (p.existing_load_mflops + load) / p.rate + queue.len() as f64 * p.comm_cost;
         println!(
             "P{j} ({:>5.0} Mflop/s, {:>6.0} MFLOPs pre-load): {:>2} tasks, {:>7.0} MFLOPs, finishes ~{:.2} s",
             p.rate,

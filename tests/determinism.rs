@@ -1,0 +1,151 @@
+//! Determinism regression tests: the whole stack is a pure function of its
+//! seeds.
+//!
+//! The workspace's custom PRNG (`dts-distributions`) is the only source of
+//! randomness; nothing may read wall-clock time, addresses, or hash-map
+//! iteration order. These tests run every scheduler twice from the same
+//! master seed and demand the *identical* schedule (per-task trace) and the
+//! identical `SimReport` — bitwise, not approximately. Any accidental
+//! nondeterminism (e.g. a `HashMap` sneaking into a hot loop, thread
+//! scheduling leaking into results) fails here before it can poison the
+//! paper's figures.
+
+use dts::core::{PnConfig, PnScheduler};
+use dts::model::{ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec};
+use dts::schedulers::{
+    EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
+};
+use dts::sim::{SimConfig, SimReport, Simulation};
+
+const PROCS: usize = 4;
+const TASKS: usize = 40;
+const SEED: u64 = 0xD15E_A5ED;
+
+fn scheduler(name: &str) -> Box<dyn Scheduler> {
+    match name {
+        "EF" => Box::new(EarliestFinish::new(PROCS)),
+        "LL" => Box::new(LightestLoaded::new(PROCS)),
+        "RR" => Box::new(RoundRobin::new(PROCS)),
+        "MM" => Box::new(MinMin::with_batch_size(PROCS, 8)),
+        "MX" => Box::new(MaxMin::with_batch_size(PROCS, 8)),
+        "ZO" => {
+            let mut cfg = ZoConfig::default();
+            cfg.ga.max_generations = 25;
+            Box::new(Zomaya::new(PROCS, cfg))
+        }
+        "PN" => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 8;
+            cfg.max_batch = 8;
+            cfg.ga.max_generations = 25;
+            Box::new(PnScheduler::new(PROCS, cfg))
+        }
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+fn run_once(name: &str) -> SimReport {
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let tasks = workload.generate(SEED);
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = SEED ^ 0xFACE;
+    Simulation::new(cluster, tasks, scheduler(name), config)
+        .run()
+        .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
+}
+
+/// Bitwise comparison of two reports, including the full schedule trace.
+fn assert_identical(name: &str, a: &SimReport, b: &SimReport) {
+    assert_eq!(a.scheduler, b.scheduler, "{name}: scheduler label");
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{name}: makespan"
+    );
+    assert_eq!(
+        a.efficiency.to_bits(),
+        b.efficiency.to_bits(),
+        "{name}: efficiency"
+    );
+    assert_eq!(a.tasks_completed, b.tasks_completed, "{name}: tasks");
+    assert_eq!(
+        a.scheduler_busy.to_bits(),
+        b.scheduler_busy.to_bits(),
+        "{name}: busy"
+    );
+    assert_eq!(a.plan_invocations, b.plan_invocations, "{name}: plans");
+    assert_eq!(
+        a.total_generations, b.total_generations,
+        "{name}: generations"
+    );
+    assert_eq!(a.events_processed, b.events_processed, "{name}: events");
+    assert_eq!(a.per_proc.len(), b.per_proc.len(), "{name}: proc count");
+    for (i, (pa, pb)) in a.per_proc.iter().zip(&b.per_proc).enumerate() {
+        assert_eq!(pa, pb, "{name}: per-proc breakdown {i}");
+    }
+
+    let (ta, tb) = (
+        a.trace.as_ref().expect("trace recorded"),
+        b.trace.as_ref().expect("trace recorded"),
+    );
+    assert_eq!(ta.spans().len(), tb.spans().len(), "{name}: span count");
+    for (sa, sb) in ta.spans().iter().zip(tb.spans()) {
+        assert_eq!(sa, sb, "{name}: schedule diverged at task {:?}", sa.task);
+    }
+}
+
+macro_rules! determinism_tests {
+    ($($fn_name:ident => $label:literal),+ $(,)?) => {$(
+        #[test]
+        fn $fn_name() {
+            let a = run_once($label);
+            let b = run_once($label);
+            assert_identical($label, &a, &b);
+        }
+    )+};
+}
+
+determinism_tests! {
+    earliest_finish_is_deterministic => "EF",
+    lightest_loaded_is_deterministic => "LL",
+    round_robin_is_deterministic => "RR",
+    min_min_is_deterministic => "MM",
+    max_min_is_deterministic => "MX",
+    zomaya_is_deterministic => "ZO",
+    pn_scheduler_is_deterministic => "PN",
+}
+
+/// Different seeds must actually change the outcome — guards against the
+/// opposite failure mode where a seed is silently ignored.
+#[test]
+fn seed_changes_outcome() {
+    let base = run_once("PN");
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED + 1);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let tasks = workload.generate(SEED + 1);
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = (SEED + 1) ^ 0xFACE;
+    let other = Simulation::new(cluster, tasks, scheduler("PN"), config)
+        .run()
+        .expect("shifted-seed run completes");
+    assert_ne!(
+        base.makespan.to_bits(),
+        other.makespan.to_bits(),
+        "changing the master seed should change the run"
+    );
+}

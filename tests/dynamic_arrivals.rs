@@ -4,9 +4,7 @@
 //! These tests exercise the continuous-arrival path end-to-end.
 
 use dts::core::{PnConfig, PnScheduler};
-use dts::model::{
-    ArrivalProcess, ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec,
-};
+use dts::model::{ArrivalProcess, ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec};
 use dts::schedulers::{EarliestFinish, RoundRobin};
 use dts::sim::{SimConfig, Simulation};
 
@@ -19,7 +17,10 @@ fn run_stream(
     let cluster = ClusterSpec::paper_defaults(6, 1.0).build(seed);
     let workload = WorkloadSpec {
         count: tasks,
-        sizes: SizeDistribution::Uniform { lo: 50.0, hi: 500.0 },
+        sizes: SizeDistribution::Uniform {
+            lo: 50.0,
+            hi: 500.0,
+        },
         arrival: ArrivalProcess::PoissonStream { mean_interarrival },
     };
     let task_set = workload.generate(seed);

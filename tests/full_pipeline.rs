@@ -2,9 +2,7 @@
 //! on the simulator, conserving tasks and respecting physical bounds.
 
 use dts::core::{PnConfig, PnScheduler};
-use dts::model::{
-    ClusterSpec, CommCostSpec, Scheduler, SizeDistribution, WorkloadSpec,
-};
+use dts::model::{ClusterSpec, CommCostSpec, Scheduler, SizeDistribution, WorkloadSpec};
 use dts::schedulers::{
     EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
 };
@@ -40,8 +38,14 @@ fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
 
 fn workloads() -> Vec<SizeDistribution> {
     vec![
-        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
-        SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+        SizeDistribution::Normal {
+            mean: 1000.0,
+            variance: 9.0e5,
+        },
+        SizeDistribution::Uniform {
+            lo: 10.0,
+            hi: 1000.0,
+        },
         SizeDistribution::Poisson { lambda: 100.0 },
     ]
 }
@@ -100,7 +104,10 @@ fn per_processor_accounting_adds_up() {
         let name = sched.name();
         let (report, _, _) = run(
             sched,
-            &SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+            &SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 1000.0,
+            },
             99,
         );
         for (j, p) in report.per_proc.iter().enumerate() {
@@ -128,7 +135,10 @@ fn ga_schedulers_charge_host_time_heuristics_do_not() {
         let name = sched.name();
         let (report, _, _) = run(
             sched,
-            &SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+            &SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
             11,
         );
         if heuristics.contains(&name) {

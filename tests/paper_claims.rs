@@ -15,7 +15,10 @@ use dts::sim::{run_replicated, SimConfig};
 fn batch(n: usize, seed: u64) -> Vec<Task> {
     WorkloadSpec::batch(
         n,
-        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+        SizeDistribution::Normal {
+            mean: 1000.0,
+            variance: 9.0e5,
+        },
     )
     .generate(seed)
 }
@@ -95,9 +98,12 @@ fn generation_budget_respected() {
 /// makespan, averaged over replications.
 #[test]
 fn pn_beats_rr_and_zo_when_communication_matters() {
-    use dts_bench::{SchedulerKind, Scenario};
+    use dts_bench::{Scenario, SchedulerKind};
     let mut scenario = Scenario::paper_base(
-        SizeDistribution::Normal { mean: 1000.0, variance: 9.0e5 },
+        SizeDistribution::Normal {
+            mean: 1000.0,
+            variance: 9.0e5,
+        },
         150,
         4,
     );
@@ -131,10 +137,13 @@ fn pn_beats_rr_and_zo_when_communication_matters() {
 /// the common monotone trend of Figs. 5 and 7.
 #[test]
 fn efficiency_rises_as_communication_gets_cheaper() {
-    use dts_bench::{SchedulerKind, Scenario};
+    use dts_bench::{Scenario, SchedulerKind};
     let base = {
         let mut s = Scenario::paper_base(
-            SizeDistribution::Uniform { lo: 10.0, hi: 1000.0 },
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 1000.0,
+            },
             100,
             3,
         );
@@ -190,15 +199,28 @@ fn ga_schedule_quality_near_bound() {
 #[test]
 fn replication_is_thread_invariant() {
     let cluster = ClusterSpec::paper_defaults(6, 3.0);
-    let workload = WorkloadSpec::batch(
-        80,
-        SizeDistribution::Poisson { lambda: 100.0 },
-    );
+    let workload = WorkloadSpec::batch(80, SizeDistribution::Poisson { lambda: 100.0 });
     let factory = |n: usize, _seed: u64| -> Box<dyn dts::model::Scheduler> {
         Box::new(dts::schedulers::EarliestFinish::new(n))
     };
-    let seq = run_replicated(&cluster, &workload, &factory, &SimConfig::default(), 1, 6, 1);
-    let par = run_replicated(&cluster, &workload, &factory, &SimConfig::default(), 1, 6, 2);
+    let seq = run_replicated(
+        &cluster,
+        &workload,
+        &factory,
+        &SimConfig::default(),
+        1,
+        6,
+        1,
+    );
+    let par = run_replicated(
+        &cluster,
+        &workload,
+        &factory,
+        &SimConfig::default(),
+        1,
+        6,
+        2,
+    );
     for (a, b) in seq.iter().zip(par.iter()) {
         assert_eq!(a.as_ref().unwrap().makespan, b.as_ref().unwrap().makespan);
     }

@@ -3,8 +3,8 @@
 
 use dts::core::{PnConfig, PnScheduler};
 use dts::model::{
-    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler,
-    SizeDistribution, WorkloadSpec,
+    ArrivalProcess, AvailabilityModel, ClusterSpec, CommCostSpec, Scheduler, SizeDistribution,
+    WorkloadSpec,
 };
 use dts::schedulers::{EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin};
 use dts::sim::{SimConfig, Simulation};
@@ -24,7 +24,9 @@ fn size_dist_strategy() -> impl Strategy<Value = SizeDistribution> {
 fn arrival_strategy() -> impl Strategy<Value = ArrivalProcess> {
     prop_oneof![
         Just(ArrivalProcess::AllAtStart),
-        (0.01..5.0f64).prop_map(|m| ArrivalProcess::PoissonStream { mean_interarrival: m }),
+        (0.01..5.0f64).prop_map(|m| ArrivalProcess::PoissonStream {
+            mean_interarrival: m
+        }),
         (1.0..100.0f64).prop_map(|w| ArrivalProcess::UniformOver { window: w }),
     ]
 }
