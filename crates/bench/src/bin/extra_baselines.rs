@@ -1,6 +1,6 @@
 //! Extension experiment — the full Maheswaran et al. family: the paper's
 //! seven schedulers plus OLB, KPB (k = 0.2) and Sufferage from its
-//! reference [11], on the Fig. 5 workload at a moderate communication
+//! reference \[11\], on the Fig. 5 workload at a moderate communication
 //! cost.
 
 use dts_bench::{env_or, write_csv, Scenario, Table, ALL_SCHEDULERS};

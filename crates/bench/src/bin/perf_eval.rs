@@ -1,0 +1,276 @@
+//! `perf_eval` — wall-clock benchmark of the deterministic parallel
+//! evaluation pipeline (`dts_ga::Evaluator`).
+//!
+//! Sweeps worker counts × population sizes × task counts over the PN
+//! fitness function (`dts_core::BatchProblem`) and reports, per
+//! configuration:
+//!
+//! * the median and p95 wall-clock of evaluating one full population batch
+//!   (the per-generation unit of work the GA engine hands to the
+//!   evaluator), and
+//! * the speedup against the serial evaluator on the same host.
+//!
+//! A second, smaller sweep times an end-to-end `schedule_batch` GA run so
+//! the Amdahl gap between "evaluation pipeline" and "whole GA" stays
+//! visible. Results are printed as a table and written as machine-readable
+//! JSON to `BENCH_parallel_eval.json` (override with `DTS_OUT`) — the
+//! repo's perf-trajectory record for this subsystem.
+//!
+//! Speedups are bounded by the physical core count of the measuring host,
+//! which is recorded in the JSON (`host.cores`): on a single-core
+//! container every parallel configuration degenerates to ≈ 1×, and the
+//! interesting number becomes `parallel_overhead` (how much slower than
+//! serial the pool is when it cannot help — the price of the channels).
+//!
+//! Knobs: `DTS_REPS` (default 41 timed repetitions per cell), `DTS_SEED`,
+//! `DTS_PROCS` (default 50), `DTS_FULL` (adds a larger sweep tier),
+//! `DTS_OUT` (output path).
+
+use std::time::Instant;
+
+use dts_bench::{env_flag, env_or};
+use dts_core::fitness::{BatchProblem, ProcessorState};
+use dts_core::{schedule_batch, PnConfig};
+use dts_distributions::{Prng, Rng, SeedSequence};
+use dts_ga::{Chromosome, Evaluator};
+use dts_model::{SimTime, Task, TaskId};
+
+/// One timed cell of the sweep.
+struct Cell {
+    population: usize,
+    tasks: usize,
+    workers: usize,
+    median_ns: u128,
+    p95_ns: u128,
+    speedup: f64,
+}
+
+fn tasks(n: usize, rng: &mut Prng) -> Vec<Task> {
+    (0..n)
+        .map(|i| Task::new(TaskId(i as u32), rng.range_f64(10.0, 1000.0), SimTime::ZERO))
+        .collect()
+}
+
+fn processors(m: usize, rng: &mut Prng) -> Vec<ProcessorState> {
+    (0..m)
+        .map(|_| ProcessorState {
+            rate: rng.range_f64(15.0, 40.0),
+            existing_load_mflops: rng.range_f64(0.0, 500.0),
+            comm_cost: rng.range_f64(0.05, 0.5),
+        })
+        .collect()
+}
+
+/// A random population, the shape `Zomaya::random_population` produces.
+fn population(pop: usize, h: usize, m: usize, rng: &mut Prng) -> Vec<Chromosome> {
+    (0..pop)
+        .map(|_| {
+            let mut queues = vec![Vec::new(); m];
+            for slot in 0..h as u32 {
+                let j = rng.below(m);
+                queues[j].push(slot);
+            }
+            Chromosome::from_queues(&queues)
+        })
+        .collect()
+}
+
+fn median_p95(samples: &mut [u128]) -> (u128, u128) {
+    samples.sort_unstable();
+    let n = samples.len();
+    let median = samples[n / 2];
+    let p95 = samples[((n * 95) / 100).min(n - 1)];
+    (median, p95)
+}
+
+/// Times `reps` evaluations of the whole population batch under one
+/// evaluator; returns (median, p95) in nanoseconds plus a checksum that
+/// keeps the work observable.
+fn time_eval_batch(
+    problem: &BatchProblem<'_>,
+    pop: &[Chromosome],
+    evaluator: Evaluator,
+    reps: usize,
+) -> (u128, u128, f64) {
+    let mut samples = Vec::with_capacity(reps);
+    let mut checksum = 0.0f64;
+    evaluator.with_context(problem, |ctx| {
+        // Warm-up: fault in code paths and wake the pool once.
+        let jobs: Vec<(usize, Chromosome)> = pop.iter().cloned().enumerate().collect();
+        checksum += ctx.eval_batch(jobs).iter().map(|e| e.fitness).sum::<f64>();
+        for _ in 0..reps {
+            // Job construction (clones) happens outside the timed window:
+            // the engine hands the evaluator already-built chromosomes.
+            let jobs: Vec<(usize, Chromosome)> = pop.iter().cloned().enumerate().collect();
+            let t0 = Instant::now();
+            let done = ctx.eval_batch(jobs);
+            samples.push(t0.elapsed().as_nanos());
+            checksum += done.iter().map(|e| e.makespan).sum::<f64>();
+        }
+    });
+    let (median, p95) = median_p95(&mut samples);
+    (median, p95, checksum)
+}
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 41);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let m: usize = env_or("DTS_PROCS", 50);
+    let full = env_flag("DTS_FULL");
+    let out_path: String = env_or("DTS_OUT", "BENCH_parallel_eval.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let worker_counts = [1usize, 2, 4, 8];
+    let mut shapes: Vec<(usize, usize)> = vec![(20, 200), (100, 200), (100, 1000), (500, 1000)];
+    if full {
+        shapes.push((1000, 5000));
+    }
+
+    eprintln!(
+        "perf_eval: {} shapes × workers {:?}, {} reps/cell, M={m}, {cores} core(s), seed={seed}",
+        shapes.len(),
+        worker_counts,
+        reps
+    );
+
+    let mut seq = SeedSequence::new(seed);
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut checksum = 0.0f64;
+
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>12} {:>8}",
+        "pop", "tasks", "workers", "median_us", "p95_us", "speedup"
+    );
+    for &(pop_size, h) in &shapes {
+        let mut rng = Prng::seed_from(seq.next_seed());
+        let batch = tasks(h, &mut rng);
+        let procs = processors(m, &mut rng);
+        let config = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &procs, &config);
+        let pop = population(pop_size, h, m, &mut rng);
+
+        let mut serial_median = 0u128;
+        for &workers in &worker_counts {
+            let evaluator = Evaluator::threads(workers);
+            let (median, p95, sum) = time_eval_batch(&problem, &pop, evaluator, reps);
+            checksum += sum;
+            if workers == 1 {
+                serial_median = median;
+            }
+            let speedup = serial_median as f64 / median.max(1) as f64;
+            println!(
+                "{:>6} {:>6} {:>8} {:>12.1} {:>12.1} {:>7.2}x",
+                pop_size,
+                h,
+                workers,
+                median as f64 / 1e3,
+                p95 as f64 / 1e3,
+                speedup
+            );
+            cells.push(Cell {
+                population: pop_size,
+                tasks: h,
+                workers,
+                median_ns: median,
+                p95_ns: p95,
+                speedup,
+            });
+        }
+    }
+
+    // ---- end-to-end: one whole GA run, serial vs parallel ----------------
+    // Smaller and noisier than the pipeline sweep, but it keeps the Amdahl
+    // gap honest: selection, crossover, mutation, and (when enabled)
+    // rebalancing stay serial, so whole-run speedup trails pipeline speedup.
+    let e2e_gens: u32 = env_or("DTS_GENS", 60);
+    let e2e_reps = (reps / 4).max(5);
+    let mut rng = Prng::seed_from(seq.next_seed());
+    let e2e_batch = tasks(500, &mut rng);
+    let e2e_procs = processors(m, &mut rng);
+    let mut e2e: Vec<(usize, u128, f64)> = Vec::new();
+    let mut e2e_serial = 0u128;
+    for &workers in &worker_counts {
+        let mut cfg = PnConfig::default().with_eval_workers(workers);
+        cfg.ga.population_size = 100;
+        cfg.ga.max_generations = e2e_gens;
+        cfg.rebalances_per_generation = 0; // time the pipeline, not §3.5
+        let states: Vec<ProcessorState> = e2e_procs.clone();
+        let mut samples: Vec<u128> = Vec::with_capacity(e2e_reps);
+        for _ in 0..e2e_reps {
+            let t0 = Instant::now();
+            let outcome = schedule_batch(&e2e_batch, &states, &cfg, seed ^ 0xE2E);
+            samples.push(t0.elapsed().as_nanos());
+            checksum += outcome.best_makespan;
+        }
+        let (median, _) = median_p95(&mut samples);
+        if workers == 1 {
+            e2e_serial = median;
+        }
+        e2e.push((workers, median, e2e_serial as f64 / median.max(1) as f64));
+    }
+    println!("\nend-to-end schedule_batch (pop=100, tasks=500, gens={e2e_gens}, R=0):");
+    for &(workers, median, speedup) in &e2e {
+        println!(
+            "  workers={workers:<2} median={:>9.1}us speedup={speedup:.2}x",
+            median as f64 / 1e3
+        );
+    }
+
+    // How much the pool costs when it cannot help: serial median over the
+    // 1-worker... measured directly as ThreadPool{2} on a 1-core host it is
+    // visible in the table; record the (100, 1000) ratio for the trajectory.
+    let overhead = cells
+        .iter()
+        .find(|c| c.population == 100 && c.tasks == 1000 && c.workers == 2)
+        .map(|c| 1.0 / c.speedup.max(1e-9))
+        .unwrap_or(f64::NAN);
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_eval\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{ \"reps\": {reps}, \"seed\": {seed}, \"procs\": {m} }},\n"
+    ));
+    json.push_str(
+        "  \"note\": \"speedup_vs_serial is measured on this host and bounded by host.cores; \
+         parallel_overhead_vs_serial is the ThreadPool/serial time ratio at pop=100/tasks=1000/\
+         workers=2, i.e. what the pool costs where parallelism cannot help\",\n",
+    );
+    json.push_str(&format!(
+        "  \"parallel_overhead_vs_serial\": {:.4},\n",
+        overhead
+    ));
+    json.push_str("  \"eval_pipeline\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"population\": {}, \"tasks\": {}, \"workers\": {}, \"median_ns\": {}, \
+             \"p95_ns\": {}, \"speedup_vs_serial\": {:.4} }}{}\n",
+            c.population,
+            c.tasks,
+            c.workers,
+            c.median_ns,
+            c.p95_ns,
+            c.speedup,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"end_to_end_ga\": [\n");
+    for (i, &(workers, median, speedup)) in e2e.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"workers\": {workers}, \"population\": 100, \"tasks\": 500, \
+             \"generations\": {e2e_gens}, \"median_ns\": {median}, \
+             \"speedup_vs_serial\": {speedup:.4} }}{}\n",
+            if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel_eval.json");
+    eprintln!("wrote {out_path}   (checksum {checksum:.3})");
+}

@@ -1,6 +1,7 @@
 //! The roster of all seven schedulers, buildable by name.
 
 use dts_core::{PnConfig, PnScheduler};
+use dts_ga::Evaluator;
 use dts_model::Scheduler;
 use dts_schedulers::{
     EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
@@ -81,6 +82,7 @@ impl SchedulerKind {
                 let mut cfg = ZoConfig::default();
                 cfg.batch_size = opts.batch_size;
                 cfg.ga.max_generations = opts.max_generations;
+                cfg.ga.evaluator = opts.evaluator;
                 cfg.seed = seed;
                 Box::new(Zomaya::new(n_procs, cfg))
             }
@@ -92,6 +94,7 @@ impl SchedulerKind {
                 // through `BuildOptions::pn` instead.
                 cfg.max_batch = cfg.max_batch.min(opts.batch_size);
                 cfg.ga.max_generations = opts.max_generations;
+                cfg.ga.evaluator = opts.evaluator;
                 cfg.seed = seed;
                 Box::new(PnScheduler::new(n_procs, cfg))
             }
@@ -107,6 +110,9 @@ pub struct BuildOptions {
     pub batch_size: usize,
     /// GA generation cap for ZO and PN (paper: 1000).
     pub max_generations: u32,
+    /// Fitness-evaluation strategy for the GA schedulers (ZO and PN).
+    /// Serial by default; `DTS_EVAL_WORKERS` overrides it in scenarios.
+    pub evaluator: Evaluator,
     /// Base PN configuration (rebalances, init fraction, …).
     pub pn: PnConfig,
 }
@@ -116,6 +122,7 @@ impl Default for BuildOptions {
         Self {
             batch_size: 200,
             max_generations: 1000,
+            evaluator: Evaluator::Serial,
             pn: PnConfig::default(),
         }
     }

@@ -61,6 +61,11 @@ impl Scenario {
                 .unwrap_or(1),
         );
         let seed: u64 = env_or("DTS_SEED", 20_050_404);
+        let mut build = BuildOptions::default();
+        // GA fitness-evaluation workers per run (1 = serial). Replication
+        // threads are the better lever for many small runs; this knob wins
+        // when individual runs are large (see BENCH_parallel_eval.json).
+        build.evaluator = dts_ga::Evaluator::threads(env_or("DTS_EVAL_WORKERS", 1));
         Self {
             cluster: ClusterSpec {
                 processors: procs,
@@ -73,7 +78,7 @@ impl Scenario {
             reps,
             threads,
             seed,
-            build: BuildOptions::default(),
+            build,
         }
     }
 

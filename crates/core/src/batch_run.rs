@@ -7,6 +7,13 @@
 //!   best makespan per generation;
 //! * **Fig. 4** measures the wall-clock time of GA runs with 0–20
 //!   rebalances per generation.
+//!
+//! Where fitness evaluation executes is controlled by
+//! `config.ga.evaluator` (see [`dts_ga::Evaluator`] and the `perf_eval`
+//! bench): the GA engine opens the evaluation context once per
+//! [`schedule_batch`] call, so thread-pool workers are spawned once and
+//! reused across all generations of the run. The outcome is bit-identical
+//! at any worker count.
 
 use dts_distributions::Prng;
 use dts_ga::{
@@ -197,6 +204,22 @@ mod tests {
         cfg.ga.record_history = true;
         let out = schedule_batch(&b, &p, &cfg, 5);
         assert_eq!(out.ga.history.len(), out.generations as usize + 1);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_bitwise() {
+        let b = batch(&[520.0, 260.0, 130.0, 390.0, 65.0, 910.0, 45.0, 700.0]);
+        let p = procs(&[100.0, 150.0, 80.0]);
+        let serial = schedule_batch(&b, &p, &quick_config(80), 21);
+        for workers in [2, 8] {
+            let cfg = quick_config(80).with_eval_workers(workers);
+            let par = schedule_batch(&b, &p, &cfg, 21);
+            assert_eq!(par.queues, serial.queues, "workers={workers}");
+            assert_eq!(par.best, serial.best);
+            assert_eq!(par.best_makespan.to_bits(), serial.best_makespan.to_bits());
+            assert_eq!(par.best_fitness.to_bits(), serial.best_fitness.to_bits());
+            assert_eq!(par.generations, serial.generations);
+        }
     }
 
     #[test]

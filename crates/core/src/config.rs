@@ -1,6 +1,6 @@
 //! Configuration of the PN scheduler.
 
-use dts_ga::GaConfig;
+use dts_ga::{Evaluator, GaConfig};
 
 use crate::time_model::GaTimeModel;
 
@@ -8,6 +8,20 @@ use crate::time_model::GaTimeModel;
 /// paper's §4.2 setup: micro-GA population of 20, up to 1000 generations,
 /// one rebalance per individual per generation with 5 probes, batch size
 /// 200, communication estimation enabled.
+///
+/// Fitness evaluation runs serially by default; set
+/// `ga.evaluator` (or call [`PnConfig::with_eval_workers`]) to evaluate
+/// each generation's population on a thread pool. The schedule produced is
+/// bit-identical either way:
+///
+/// ```
+/// use dts_core::PnConfig;
+/// use dts_ga::Evaluator;
+///
+/// let cfg = PnConfig::default().with_eval_workers(4);
+/// assert_eq!(cfg.ga.evaluator, Evaluator::ThreadPool { workers: 4 });
+/// assert!(cfg.validate().is_ok());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PnConfig {
     /// The underlying GA engine configuration.
@@ -67,6 +81,14 @@ impl Default for PnConfig {
 }
 
 impl PnConfig {
+    /// Runs fitness evaluation on `workers` threads (1 = serial, 0 = all
+    /// available cores). Purely a wall-clock knob: results are
+    /// bit-identical at any worker count (`tests/determinism.rs`).
+    pub fn with_eval_workers(mut self, workers: usize) -> Self {
+        self.ga.evaluator = Evaluator::threads(workers);
+        self
+    }
+
     /// Validates cross-field invariants. Called by the scheduler
     /// constructor; exposed for configuration loaders.
     pub fn validate(&self) -> Result<(), String> {

@@ -18,8 +18,6 @@
 //! clamped into `(0, 1]` (the paper states `Fᵢ = [0, 1]`); a larger value
 //! indicates a fitter schedule.
 
-use std::cell::RefCell;
-
 use dts_ga::{Chromosome, Problem};
 use dts_model::Task;
 
@@ -73,10 +71,12 @@ pub struct BatchProblem<'a> {
     rebalances: u32,
     /// Probes per rebalance attempt (paper: 5).
     rebalance_probes: u32,
-    /// Scratch: per-processor completion times, reused across evaluations
-    /// to keep the hot path allocation-free.
-    completions: RefCell<Vec<f64>>,
 }
+
+/// Stack buffer size for per-processor completion times: clusters up to
+/// this many processors evaluate without heap allocation. The paper's
+/// largest experiments use 100 processors.
+const STACK_PROCS: usize = 128;
 
 impl<'a> BatchProblem<'a> {
     /// Builds the problem for a batch and processor set.
@@ -101,7 +101,6 @@ impl<'a> BatchProblem<'a> {
             use_comm: config.use_comm_estimates,
             rebalances: config.rebalances_per_generation,
             rebalance_probes: config.rebalance_probes,
-            completions: RefCell::new(vec![0.0; procs.len()]),
         }
     }
 
@@ -124,7 +123,17 @@ impl<'a> BatchProblem<'a> {
     /// `Cⱼ = δⱼ + Σ_{y→j} (t_y/Pⱼ + Γc)` for the given schedule.
     pub fn completion_times(&self, c: &Chromosome, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.procs.iter().map(ProcessorState::delta));
+        out.resize(self.procs.len(), 0.0);
+        self.fill_completions(c, out);
+    }
+
+    /// One pass over the chromosome: `out[j] = Cⱼ`. This is the hot path;
+    /// it allocates nothing and draws no randomness, which is what lets
+    /// the [`dts_ga::Evaluator`] thread pool run it concurrently.
+    fn fill_completions(&self, c: &Chromosome, out: &mut [f64]) {
+        for (slot, p) in out.iter_mut().zip(self.procs) {
+            *slot = p.delta();
+        }
         for (proc, slot) in c.assignments() {
             let p = &self.procs[proc];
             let t = &self.batch[slot as usize];
@@ -136,26 +145,25 @@ impl<'a> BatchProblem<'a> {
         }
     }
 
-    /// The relative error `E` of a schedule (§3.2). Zero means every
-    /// processor finishes exactly at ψ.
-    pub fn relative_error(&self, c: &Chromosome) -> f64 {
-        let mut completions = self.completions.borrow_mut();
-        self.completion_times(c, &mut completions);
-        let sum_sq: f64 = completions
-            .iter()
-            .map(|&cj| {
-                let d = self.psi - cj;
-                d * d
-            })
-            .sum();
-        sum_sq.sqrt()
+    /// Computes the completion times into a stack buffer (clusters of up
+    /// to [`STACK_PROCS`] processors never touch the heap) and hands them
+    /// to `f`.
+    fn with_completions<R>(&self, c: &Chromosome, f: impl FnOnce(&[f64]) -> R) -> R {
+        let m = self.procs.len();
+        if m <= STACK_PROCS {
+            let mut buf = [0.0f64; STACK_PROCS];
+            self.fill_completions(c, &mut buf[..m]);
+            f(&buf[..m])
+        } else {
+            let mut buf = vec![0.0f64; m];
+            self.fill_completions(c, &mut buf);
+            f(&buf)
+        }
     }
-}
 
-impl Problem for BatchProblem<'_> {
-    /// `F = 1/E`, clamped into `(0, 1]`; `E = 0` maps to the perfect score 1.
-    fn fitness(&self, c: &Chromosome) -> f64 {
-        let e = self.relative_error(c);
+    /// Fitness from a relative error: `F = 1/E` clamped into `(0, 1]`.
+    #[inline]
+    fn fitness_of_error(e: f64) -> f64 {
         if e <= 1.0 {
             1.0
         } else {
@@ -163,11 +171,51 @@ impl Problem for BatchProblem<'_> {
         }
     }
 
+    /// The relative error `E` of a schedule (§3.2). Zero means every
+    /// processor finishes exactly at ψ.
+    pub fn relative_error(&self, c: &Chromosome) -> f64 {
+        self.with_completions(c, |completions| {
+            let sum_sq: f64 = completions
+                .iter()
+                .map(|&cj| {
+                    let d = self.psi - cj;
+                    d * d
+                })
+                .sum();
+            sum_sq.sqrt()
+        })
+    }
+}
+
+impl Problem for BatchProblem<'_> {
+    /// `F = 1/E`, clamped into `(0, 1]`; `E = 0` maps to the perfect score 1.
+    fn fitness(&self, c: &Chromosome) -> f64 {
+        Self::fitness_of_error(self.relative_error(c))
+    }
+
     /// Estimated makespan: the largest per-processor completion time.
     fn makespan(&self, c: &Chromosome) -> f64 {
-        let mut completions = self.completions.borrow_mut();
-        self.completion_times(c, &mut completions);
-        completions.iter().copied().fold(0.0, f64::max)
+        self.with_completions(c, |completions| {
+            completions.iter().copied().fold(0.0, f64::max)
+        })
+    }
+
+    /// Fast path: fitness and makespan both derive from the per-processor
+    /// completion times, so one fill serves both — separate
+    /// [`Problem::fitness`] + [`Problem::makespan`] calls would walk the
+    /// chromosome twice. Bit-identical to the two-call form because the
+    /// completions are computed by the same pass either way.
+    fn evaluate(&self, c: &Chromosome) -> (f64, f64) {
+        self.with_completions(c, |completions| {
+            let mut sum_sq = 0.0f64;
+            let mut max = 0.0f64;
+            for &cj in completions {
+                let d = self.psi - cj;
+                sum_sq += d * d;
+                max = max.max(cj);
+            }
+            (Self::fitness_of_error(sum_sq.sqrt()), max)
+        })
     }
 
     /// The §3.5 rebalancing heuristic, applied `rebalances` times.
@@ -298,6 +346,49 @@ mod tests {
         let expensive = Chromosome::from_queues(&[vec![0], vec![]]);
         let cheap = Chromosome::from_queues(&[vec![], vec![0]]);
         assert!(p.fitness(&cheap) > p.fitness(&expensive));
+    }
+
+    #[test]
+    fn combined_evaluate_matches_separate_calls() {
+        let batch: Vec<Task> = (0..30).map(|i| task(i, 50.0 + 37.0 * i as f64)).collect();
+        let procs = [
+            proc(100.0, 250.0, 0.5),
+            proc(200.0, 0.0, 0.25),
+            proc(55.0, 10.0, 1.5),
+        ];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let c = Chromosome::from_queues(&[
+            (0..10).collect::<Vec<_>>(),
+            (10..25).collect(),
+            (25..30).collect(),
+        ]);
+        let (f, ms) = p.evaluate(&c);
+        assert_eq!(f.to_bits(), p.fitness(&c).to_bits());
+        assert_eq!(ms.to_bits(), p.makespan(&c).to_bits());
+    }
+
+    #[test]
+    fn large_clusters_spill_to_the_heap_identically() {
+        // One processor past the stack-buffer bound: same answers.
+        let n = super::STACK_PROCS + 1;
+        let batch: Vec<Task> = (0..n as u32).map(|i| task(i, 100.0)).collect();
+        let procs: Vec<ProcessorState> = (0..n).map(|_| proc(100.0, 0.0, 0.0)).collect();
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let queues: Vec<Vec<u32>> = (0..n as u32).map(|i| vec![i]).collect();
+        let c = Chromosome::from_queues(&queues);
+        assert!(p.relative_error(&c) < 1e-9, "perfectly balanced");
+        let (f, ms) = p.evaluate(&c);
+        assert_eq!(f, 1.0);
+        assert!((ms - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_problem_is_sync() {
+        // The parallel evaluator shares `&BatchProblem` across worker
+        // threads; losing `Sync` (e.g. by reintroducing interior
+        // mutability) must fail to compile here first.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<BatchProblem<'static>>();
     }
 
     #[test]

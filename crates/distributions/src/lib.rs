@@ -8,7 +8,7 @@
 //! that machinery from scratch so that the whole reproduction is
 //! bit-for-bit deterministic given a master seed:
 //!
-//! * [`rng`] — a [SplitMix64](rng::SplitMix64) seeder and the
+//! * [`rng`] — a [`SplitMix64`] seeder and the
 //!   [xoshiro256++](rng::Xoshiro256PlusPlus) generator, plus the [`Rng`]
 //!   trait with range/shuffle/choice helpers.
 //! * [`dist`] — [`Uniform`], [`Normal`] (Box–Muller), [`Poisson`]

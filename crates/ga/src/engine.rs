@@ -15,11 +15,34 @@
 //! rebalancing heuristic) and over the selection/crossover/mutation
 //! operators, so the paper's configuration and every ablation variant run
 //! on the same loop.
+//!
+//! # Evaluation pipeline
+//!
+//! Each generation is organised into phases so that fitness evaluation —
+//! the GA's hot spot — is batched and can run in parallel without touching
+//! the RNG stream (see [`crate::evaluate`]):
+//!
+//! 1. **breed** (serial, draws RNG): elitism, selection, crossover. Clones
+//!    carry their cached fitness; fresh offspring are queued by index.
+//! 2. **evaluate** (parallel-safe, no RNG): the queued offspring are
+//!    evaluated as one batch and written back by index.
+//! 3. **mutate** (serial, draws RNG): mutations are applied in place and
+//!    the touched indices recorded.
+//! 4. **re-evaluate** (parallel-safe, no RNG): only the mutated
+//!    individuals are re-evaluated — everything untouched keeps the
+//!    fitness and makespan derived from its earlier per-processor
+//!    completion times.
+//! 5. **improve** (serial, draws RNG): the §3.5 local-improvement hook.
+//!
+//! Because phases 2 and 4 are pure and write back by index, the population
+//! ordering and every subsequent RNG draw are bit-identical whichever
+//! [`crate::Evaluator`] executes them.
 
 use dts_distributions::{Prng, Rng};
 
 use crate::crossover::CrossoverOp;
 use crate::encoding::Chromosome;
+use crate::evaluate::{BatchEval, Evaluator};
 use crate::mutation::MutationOp;
 use crate::selection::SelectionOp;
 
@@ -34,6 +57,19 @@ pub trait Problem {
     /// quantity the §3.4 stopping condition and Fig. 3 track. Smaller is
     /// better.
     fn makespan(&self, c: &Chromosome) -> f64;
+
+    /// Fitness and makespan in one call — the engine's evaluation
+    /// entry point.
+    ///
+    /// Must return exactly `(self.fitness(c), self.makespan(c))` and draw
+    /// no randomness; the determinism suite compares serial and parallel
+    /// evaluation bitwise. Implementations whose fitness and makespan both
+    /// derive from the same per-processor completion times should override
+    /// this to compute the completions once (the PN and ZO problems do —
+    /// it halves the work of the hot path).
+    fn evaluate(&self, c: &Chromosome) -> (f64, f64) {
+        (self.fitness(c), self.makespan(c))
+    }
 
     /// Optional local improvement applied to every individual in every
     /// generation (the §3.5 rebalancing heuristic). Implementations mutate
@@ -70,6 +106,11 @@ pub struct GaConfig {
     pub target_makespan: Option<f64>,
     /// Record per-generation statistics (needed by Fig. 3; costs memory).
     pub record_history: bool,
+    /// How fitness batches are executed ([`Evaluator::Serial`] or a scoped
+    /// thread pool). Both produce bit-identical runs; the pool is worth it
+    /// once `population_size × batch` work dwarfs per-generation
+    /// synchronisation (see `perf_eval` / BENCH_parallel_eval.json).
+    pub evaluator: Evaluator,
 }
 
 impl Default for GaConfig {
@@ -82,6 +123,7 @@ impl Default for GaConfig {
             max_generations: 1000,
             target_makespan: None,
             record_history: false,
+            evaluator: Evaluator::Serial,
         }
     }
 }
@@ -178,7 +220,7 @@ impl<'a> GaEngine<'a> {
     /// `max_generations_override`, when given, further caps the generation
     /// count — the PN scheduler uses it to stop before a processor goes
     /// idle (§3.4).
-    pub fn run<P: Problem>(
+    pub fn run<P: Problem + Sync>(
         &self,
         problem: &P,
         initial: Vec<Chromosome>,
@@ -186,23 +228,39 @@ impl<'a> GaEngine<'a> {
         rng: &mut Prng,
     ) -> GaResult {
         assert!(!initial.is_empty(), "initial population must be non-empty");
+        // The evaluation context (serial, or a scoped worker pool that
+        // lives for the whole run) wraps the generation loop.
+        self.config.evaluator.with_context(problem, |eval| {
+            self.run_with(problem, eval, &initial, max_generations_override, rng)
+        })
+    }
+
+    fn run_with<P: Problem>(
+        &self,
+        problem: &P,
+        eval: &dyn BatchEval,
+        initial: &[Chromosome],
+        max_generations_override: Option<u32>,
+        rng: &mut Prng,
+    ) -> GaResult {
         let pop_size = self.config.population_size;
         let max_gens = self
             .config
             .max_generations
             .min(max_generations_override.unwrap_or(u32::MAX));
 
-        // Materialise the working population, cycling the seeds if needed.
-        let mut pop: Vec<Individual> = (0..pop_size)
-            .map(|i| {
-                let chrom = initial[i % initial.len()].clone();
-                let fitness = problem.fitness(&chrom);
-                let makespan = problem.makespan(&chrom);
-                Individual {
-                    chrom,
-                    fitness,
-                    makespan,
-                }
+        // Materialise the working population, cycling the seeds if needed;
+        // the whole initial batch is evaluated through the context.
+        let init_jobs: Vec<(usize, Chromosome)> = (0..pop_size)
+            .map(|i| (i, initial[i % initial.len()].clone()))
+            .collect();
+        let mut pop: Vec<Individual> = eval
+            .eval_batch(init_jobs)
+            .into_iter()
+            .map(|e| Individual {
+                chrom: e.chrom,
+                fitness: e.fitness,
+                makespan: e.makespan,
             })
             .collect();
 
@@ -251,8 +309,11 @@ impl<'a> GaEngine<'a> {
             fitness_buf.clear();
             fitness_buf.extend(pop.iter().map(|i| i.fitness));
 
-            // --- selection + crossover -> next generation -------------
-            let mut next: Vec<Individual> = Vec::with_capacity(pop_size);
+            // --- breed: elitism + selection + crossover (draws RNG) ----
+            // Clones keep their cached evaluation; fresh offspring are
+            // queued with their population index for batch evaluation.
+            let mut next: Vec<Option<Individual>> = Vec::with_capacity(pop_size);
+            let mut offspring: Vec<(usize, Chromosome)> = Vec::new();
             if self.config.elitism > 0 {
                 let mut order: Vec<usize> = (0..pop.len()).collect();
                 order.sort_by(|&a, &b| {
@@ -262,11 +323,11 @@ impl<'a> GaEngine<'a> {
                         .expect("finite fitness")
                 });
                 for &i in order.iter().take(self.config.elitism) {
-                    next.push(Individual {
+                    next.push(Some(Individual {
                         chrom: pop[i].chrom.clone(),
                         fitness: pop[i].fitness,
                         makespan: pop[i].makespan,
-                    });
+                    }));
                 }
             }
             while next.len() < pop_size {
@@ -274,26 +335,67 @@ impl<'a> GaEngine<'a> {
                 let pb = self.selection.select(&fitness_buf, rng);
                 if rng.chance(self.config.crossover_rate) {
                     let (ca, cb) = self.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
-                    next.push(self.evaluate(problem, ca));
+                    offspring.push((next.len(), ca));
+                    next.push(None);
                     if next.len() < pop_size {
-                        next.push(self.evaluate(problem, cb));
+                        offspring.push((next.len(), cb));
+                        next.push(None);
                     }
                 } else {
-                    next.push(Individual {
+                    next.push(Some(Individual {
                         chrom: pop[pa].chrom.clone(),
                         fitness: pop[pa].fitness,
                         makespan: pop[pa].makespan,
-                    });
+                    }));
                 }
             }
-            pop = next;
 
-            // --- random mutation --------------------------------------
+            // --- evaluate the fresh offspring, write back by index -----
+            for e in eval.eval_batch(offspring) {
+                next[e.index] = Some(Individual {
+                    chrom: e.chrom,
+                    fitness: e.fitness,
+                    makespan: e.makespan,
+                });
+            }
+            pop = next
+                .into_iter()
+                .map(|slot| slot.expect("every slot bred or evaluated"))
+                .collect();
+
+            // --- random mutation (draws RNG), deferred re-evaluation ---
+            let mut dirty: Vec<usize> = Vec::new();
             for _ in 0..self.config.mutations_per_generation {
                 let i = rng.below(pop.len());
                 self.mutation.mutate(&mut pop[i].chrom, rng);
-                pop[i].fitness = problem.fitness(&pop[i].chrom);
-                pop[i].makespan = problem.makespan(&pop[i].chrom);
+                if !dirty.contains(&i) {
+                    dirty.push(i);
+                }
+            }
+            if !dirty.is_empty() {
+                // Only mutated individuals are re-evaluated; the rest keep
+                // the values from their earlier completion-time pass. The
+                // mutated chromosomes are moved out (a trivial placeholder
+                // takes their slot) and moved back with their evaluation —
+                // no clone in the hot loop.
+                dirty.sort_unstable();
+                let jobs: Vec<(usize, Chromosome)> = dirty
+                    .iter()
+                    .map(|&i| {
+                        let chrom = std::mem::replace(
+                            &mut pop[i].chrom,
+                            Chromosome::from_queues(&[Vec::new()]),
+                        );
+                        (i, chrom)
+                    })
+                    .collect();
+                for e in eval.eval_batch(jobs) {
+                    pop[e.index] = Individual {
+                        chrom: e.chrom,
+                        fitness: e.fitness,
+                        makespan: e.makespan,
+                    };
+                }
             }
 
             // --- local improvement (rebalancing heuristic, §3.5) ------
@@ -330,16 +432,6 @@ impl<'a> GaEngine<'a> {
             generations,
             stop_reason,
             history,
-        }
-    }
-
-    fn evaluate<P: Problem>(&self, problem: &P, chrom: Chromosome) -> Individual {
-        let fitness = problem.fitness(&chrom);
-        let makespan = problem.makespan(&chrom);
-        Individual {
-            chrom,
-            fitness,
-            makespan,
         }
     }
 
@@ -523,6 +615,34 @@ mod tests {
         let result = e.run(&Greedy, skewed_initial(20), None, &mut rng);
         // Improvement alone must fully balance 12 tasks over 4 processors.
         assert_eq!(result.best_makespan, 3.0);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical() {
+        let run = |evaluator: Evaluator| {
+            let e = engine(GaConfig {
+                max_generations: 60,
+                mutations_per_generation: 4,
+                record_history: true,
+                evaluator,
+                ..GaConfig::default()
+            });
+            let mut rng = Prng::seed_from(48);
+            e.run(&Balance, skewed_initial(20), None, &mut rng)
+        };
+        let serial = run(Evaluator::Serial);
+        for workers in [2, 8] {
+            let par = run(Evaluator::ThreadPool { workers });
+            assert_eq!(par.best, serial.best, "workers={workers}");
+            assert_eq!(par.best_makespan.to_bits(), serial.best_makespan.to_bits());
+            assert_eq!(par.best_fitness.to_bits(), serial.best_fitness.to_bits());
+            assert_eq!(par.generations, serial.generations);
+            assert_eq!(par.history.len(), serial.history.len());
+            for (a, b) in par.history.iter().zip(&serial.history) {
+                assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+                assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,28 @@
 //! * [`engine`] — the generation loop with elitism, per-generation local
 //!   improvement hooks (for §3.5's rebalancing heuristic), statistics
 //!   history, and the §3.4 stopping conditions.
+//! * [`evaluate`] — the deterministic evaluation pipeline:
+//!   [`evaluate::Evaluator`] executes fitness batches either serially or on
+//!   a scoped thread pool, with results written back by chromosome index so
+//!   runs are bit-identical at any worker count.
+//!
+//! # Parallel evaluation
+//!
+//! Fitness evaluation dominates a GA scheduler's wall-clock, so
+//! [`GaConfig::evaluator`] selects where it runs. Determinism is
+//! preserved by construction — evaluation draws no randomness and results
+//! land at fixed indices:
+//!
+//! ```
+//! use dts_ga::{Evaluator, GaConfig};
+//!
+//! let serial = GaConfig::default();
+//! let parallel = GaConfig { evaluator: Evaluator::ThreadPool { workers: 4 }, ..serial.clone() };
+//! // Same operators + same seed ⇒ the two configurations produce
+//! // bit-identical GaResults; only the wall-clock differs.
+//! assert_eq!(serial.evaluator, Evaluator::Serial);
+//! assert_eq!(parallel.evaluator.effective_workers(), 4);
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,11 +47,13 @@
 pub mod crossover;
 pub mod encoding;
 pub mod engine;
+pub mod evaluate;
 pub mod mutation;
 pub mod selection;
 
 pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, PartiallyMapped};
 pub use encoding::{Chromosome, Gene};
 pub use engine::{GaConfig, GaEngine, GaResult, GenStats, Problem, StopReason};
+pub use evaluate::{BatchEval, Evaluated, Evaluator};
 pub use mutation::{InsertMutation, InversionMutation, MutationOp, SwapMutation};
 pub use selection::{RankSelection, RouletteWheel, SelectionOp, Tournament};

@@ -4,8 +4,8 @@
 
 use dts_distributions::Prng;
 use dts_ga::{
-    Chromosome, CrossoverOp, CycleCrossover, GaConfig, GaEngine, InsertMutation, MutationOp,
-    OnePointOrder, OrderCrossover, Problem, RankSelection, RouletteWheel, SelectionOp,
+    Chromosome, CrossoverOp, CycleCrossover, Evaluator, GaConfig, GaEngine, InsertMutation,
+    MutationOp, OnePointOrder, OrderCrossover, Problem, RankSelection, RouletteWheel, SelectionOp,
     SwapMutation, Tournament,
 };
 use proptest::prelude::*;
@@ -110,5 +110,37 @@ proptest! {
         prop_assert!(result.best.validate().is_ok());
         prop_assert!(result.best_makespan <= initial_best + 1e-9,
             "GA returned something worse than its seeds");
+    }
+
+    #[test]
+    fn engine_run_is_evaluator_invariant((a, b, seed) in chromosome_strategy()) {
+        struct Balance;
+        impl Problem for Balance {
+            fn fitness(&self, c: &Chromosome) -> f64 {
+                1.0 / (1.0 + self.makespan(c))
+            }
+            fn makespan(&self, c: &Chromosome) -> f64 {
+                c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+            }
+        }
+        let sel = RouletteWheel;
+        let cx = CycleCrossover;
+        let mu = SwapMutation;
+        let run = |evaluator: Evaluator| {
+            let engine = GaEngine::new(&sel, &cx, &mu, GaConfig {
+                population_size: 8,
+                max_generations: 10,
+                evaluator,
+                ..GaConfig::default()
+            });
+            let mut rng = Prng::seed_from(seed);
+            engine.run(&Balance, vec![a.clone(), b.clone()], None, &mut rng)
+        };
+        let serial = run(Evaluator::Serial);
+        let parallel = run(Evaluator::ThreadPool { workers: 3 });
+        prop_assert_eq!(&parallel.best, &serial.best);
+        prop_assert_eq!(parallel.best_makespan.to_bits(), serial.best_makespan.to_bits());
+        prop_assert_eq!(parallel.best_fitness.to_bits(), serial.best_fitness.to_bits());
+        prop_assert_eq!(parallel.generations, serial.generations);
     }
 }

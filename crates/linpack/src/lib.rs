@@ -9,7 +9,7 @@
 //! the canonical `2n³/3 + 2n²` floating-point operations to rate the host
 //! in Mflop/s, the same quantity the simulated processors carry as their
 //! `rated_mflops`. The `linpack_rating` example uses it to build a
-//! [`dts-model`-style] processor descriptor for the machine it runs on.
+//! `dts-model`-style processor descriptor for the machine it runs on.
 //!
 //! The implementation is self-contained (no BLAS): factorisation runs
 //! right-looking with row pivoting on a flat row-major buffer.

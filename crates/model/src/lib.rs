@@ -21,6 +21,24 @@
 //! * [`sched`] — the [`sched::Scheduler`] trait implemented by all seven
 //!   schedulers and consumed by the simulator, together with the
 //!   [`sched::TaskQueues`] bookkeeping helper.
+//!
+//! Everything stochastic in this crate is built from an explicit 64-bit
+//! seed — the root of the workspace's determinism contract (same seed ⇒
+//! bit-identical clusters, workloads, schedules, and reports, serial or
+//! parallel; see ARCHITECTURE.md):
+//!
+//! ```
+//! use dts_model::{ClusterSpec, SizeDistribution, WorkloadSpec};
+//!
+//! let cluster = ClusterSpec::paper_defaults(4, 1.0).build(7);
+//! assert_eq!(cluster.len(), 4);
+//!
+//! let spec = WorkloadSpec::batch(16, SizeDistribution::Uniform { lo: 10.0, hi: 100.0 });
+//! let tasks = spec.generate(7);
+//! assert_eq!(tasks.len(), 16);
+//! // Same seed, same workload — bit for bit.
+//! assert_eq!(spec.generate(7), tasks);
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,9 +1,9 @@
 //! Extension baselines from Maheswaran, Ali, Siegel, Hensgen & Freund,
 //! *"Dynamic mapping of a class of independent tasks onto heterogeneous
-//! computing systems"* (JPDC 1999) — the paper's reference [11] and the
+//! computing systems"* (JPDC 1999) — the paper's reference \[11\] and the
 //! source of its immediate/batch-mode taxonomy.
 //!
-//! The paper compares against EF/LL/RR and MM/MX/ZO; reference [11]
+//! The paper compares against EF/LL/RR and MM/MX/ZO; reference \[11\]
 //! additionally defines three mappers that complete the family and are
 //! implemented here as extensions (exercised by the `extra_baselines`
 //! experiment):

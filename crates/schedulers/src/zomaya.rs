@@ -1,6 +1,6 @@
 //! ZO — the Zomaya & Teh dynamic GA load-balancer (TPDS 2001), §4.1.
 //!
-//! > "The scheduler proposed by Zomaya et al. (ZO) in [19] has been
+//! > "The scheduler proposed by Zomaya et al. (ZO) in \[19\] has been
 //! > implemented for this paper. It is the current state of the art
 //! > homogeneous GA scheduler and the basis for our scheduler. The ZO
 //! > scheduler was easily converted from a homogeneous scheduler to a
@@ -37,6 +37,8 @@ use dts_core::time_model::GaTimeModel;
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZoConfig {
     /// GA parameters (population 20, up to 1000 generations, as in §4.2).
+    /// `ga.evaluator` selects serial or thread-pool fitness evaluation;
+    /// plans are bit-identical either way.
     pub ga: GaConfig,
     /// Fixed batch size (the paper's experiments use 200).
     pub batch_size: usize,
@@ -90,12 +92,26 @@ impl<'a> ZoProblem<'a> {
             optimum: (total / total_rate.max(1e-9) + max_delta).max(1e-12),
         }
     }
+
+    /// The single fitness formula, shared by [`Problem::fitness`] and
+    /// [`Problem::evaluate`] so the two can never diverge.
+    #[inline]
+    fn fitness_of_makespan(&self, ms: f64) -> f64 {
+        (self.optimum / ms).min(1.0)
+    }
 }
 
 impl Problem for ZoProblem<'_> {
     fn fitness(&self, c: &Chromosome) -> f64 {
+        self.fitness_of_makespan(self.makespan(c))
+    }
+
+    /// Fast path for the evaluation pipeline: one load pass yields the
+    /// makespan, and the fitness is a pure function of it — identical to
+    /// calling [`Problem::fitness`] and [`Problem::makespan`] separately.
+    fn evaluate(&self, c: &Chromosome) -> (f64, f64) {
         let ms = self.makespan(c);
-        (self.optimum / ms).min(1.0)
+        (self.fitness_of_makespan(ms), ms)
     }
 
     fn makespan(&self, c: &Chromosome) -> f64 {
@@ -288,6 +304,18 @@ mod tests {
     }
 
     #[test]
+    fn zo_combined_evaluate_matches_separate_calls() {
+        let b = tasks(&[100.0, 200.0, 50.0, 425.0, 12.5]);
+        let rates = [100.0, 50.0, 230.0];
+        let existing = [0.0, 50.0, 17.5];
+        let p = ZoProblem::new(&b, &rates, &existing);
+        let c = Chromosome::from_queues(&[vec![0, 3], vec![1], vec![2, 4]]);
+        let (f, ms) = p.evaluate(&c);
+        assert_eq!(f.to_bits(), p.fitness(&c).to_bits());
+        assert_eq!(ms.to_bits(), p.makespan(&c).to_bits());
+    }
+
+    #[test]
     fn zo_fitness_in_unit_interval() {
         let b = tasks(&[100.0; 12]);
         let rates = [100.0, 100.0, 100.0];
@@ -346,6 +374,29 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zo_parallel_evaluation_matches_serial() {
+        let run = |workers: usize| {
+            let mut cfg = quick();
+            cfg.ga.evaluator = dts_ga::Evaluator::threads(workers);
+            let mut s = Zomaya::new(3, cfg);
+            s.enqueue(&tasks(&[100.0, 70.0, 30.0, 20.0, 10.0, 5.0, 250.0, 40.0]));
+            s.plan(&view(&[100.0, 150.0, 60.0]));
+            (0..3)
+                .map(|i| {
+                    let mut order = Vec::new();
+                    while let Some(t) = s.next_task_for(ProcessorId(i)) {
+                        order.push(t.id);
+                    }
+                    order
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
     }
 
     #[test]

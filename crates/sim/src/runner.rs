@@ -5,6 +5,18 @@
 //! calculated"). [`run_replicated`] fans replication seeds out of a master
 //! seed and executes them on scoped worker threads; results are returned in
 //! seed order, so the aggregation is independent of thread scheduling.
+//!
+//! # Two levels of parallelism
+//!
+//! Replication threads (this module) and the GA's evaluation workers
+//! (`dts_ga::Evaluator`, configured per scheduler via e.g.
+//! `PnConfig::ga.evaluator`) compose freely, and neither perturbs
+//! results — determinism holds at both levels because every run is a pure
+//! function of its fanned-out seed and every fitness batch writes back by
+//! chromosome index. For many small replications, prefer replication
+//! threads (coarser work items); for a few large runs — big batches, big
+//! populations — prefer evaluation workers inside each run. Oversubscribing
+//! both multiplies thread counts and wastes time in context switches.
 
 use dts_distributions::SeedSequence;
 use dts_model::{ClusterSpec, Scheduler, WorkloadSpec};
@@ -135,6 +147,31 @@ mod tests {
             sa.windows(2).any(|w| w[0] != w[1]),
             "replications should differ from one another"
         );
+    }
+
+    #[test]
+    fn replication_threads_compose_with_eval_workers() {
+        // Outer replication threads × inner GA evaluation workers must
+        // leave results bit-identical to the fully serial pipeline.
+        let (c, w) = spec();
+        let factory_with = |workers: usize| {
+            move |n: usize, s: u64| -> Box<dyn Scheduler> {
+                let mut cfg = dts_core::PnConfig::default().with_eval_workers(workers);
+                cfg.initial_batch = 12;
+                cfg.max_batch = 12;
+                cfg.ga.max_generations = 15;
+                cfg.seed = s;
+                Box::new(dts_core::PnScheduler::new(n, cfg))
+            }
+        };
+        let serial = run_replicated(&c, &w, &factory_with(1), &SimConfig::default(), 3, 4, 1);
+        let nested = run_replicated(&c, &w, &factory_with(4), &SimConfig::default(), 3, 4, 2);
+        for (a, b) in serial.iter().zip(nested.iter()) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+            assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+            assert_eq!(a.total_generations, b.total_generations);
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! |--------|-------|----------|
 //! | [`core`] | `dts-core` | the PN scheduler: fitness, rebalancing, dynamic batching |
 //! | [`schedulers`] | `dts-schedulers` | EF, LL, RR, min-min, max-min, Zomaya-Teh GA |
-//! | [`ga`] | `dts-ga` | generic GA engine over permutation encodings |
+//! | [`ga`] | `dts-ga` | generic GA engine over permutation encodings, with deterministic serial/parallel fitness evaluation |
 //! | [`sim`] | `dts-sim` | discrete-event distributed-system simulator |
 //! | [`model`] | `dts-model` | tasks, processors, links, workloads, the `Scheduler` trait |
 //! | [`distributions`] | `dts-distributions` | PRNG, uniform/normal/Poisson/exponential, stats |

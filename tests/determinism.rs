@@ -11,6 +11,7 @@
 //! paper's figures.
 
 use dts::core::{PnConfig, PnScheduler};
+use dts::ga::Evaluator;
 use dts::model::{ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec};
 use dts::schedulers::{
     EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
@@ -21,7 +22,7 @@ const PROCS: usize = 4;
 const TASKS: usize = 40;
 const SEED: u64 = 0xD15E_A5ED;
 
-fn scheduler(name: &str) -> Box<dyn Scheduler> {
+fn scheduler(name: &str, evaluator: Evaluator) -> Box<dyn Scheduler> {
     match name {
         "EF" => Box::new(EarliestFinish::new(PROCS)),
         "LL" => Box::new(LightestLoaded::new(PROCS)),
@@ -31,6 +32,7 @@ fn scheduler(name: &str) -> Box<dyn Scheduler> {
         "ZO" => {
             let mut cfg = ZoConfig::default();
             cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
@@ -38,14 +40,15 @@ fn scheduler(name: &str) -> Box<dyn Scheduler> {
             cfg.initial_batch = 8;
             cfg.max_batch = 8;
             cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
             Box::new(PnScheduler::new(PROCS, cfg))
         }
         other => panic!("unknown scheduler {other}"),
     }
 }
 
-fn run_once(name: &str) -> SimReport {
-    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+fn run_once_seeded(name: &str, evaluator: Evaluator, seed: u64) -> SimReport {
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(seed);
     let workload = WorkloadSpec::batch(
         TASKS,
         SizeDistribution::Normal {
@@ -53,13 +56,17 @@ fn run_once(name: &str) -> SimReport {
             variance: 1.0e4,
         },
     );
-    let tasks = workload.generate(SEED);
+    let tasks = workload.generate(seed);
     let mut config = SimConfig::default();
     config.record_trace = true;
-    config.seed = SEED ^ 0xFACE;
-    Simulation::new(cluster, tasks, scheduler(name), config)
+    config.seed = seed ^ 0xFACE;
+    Simulation::new(cluster, tasks, scheduler(name, evaluator), config)
         .run()
         .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
+}
+
+fn run_once(name: &str) -> SimReport {
+    run_once_seeded(name, Evaluator::Serial, SEED)
 }
 
 /// Bitwise comparison of two reports, including the full schedule trace.
@@ -123,6 +130,36 @@ determinism_tests! {
     pn_scheduler_is_deterministic => "PN",
 }
 
+/// The evaluation pipeline's core guarantee: the *parallel* evaluator
+/// produces the same schedule, bit for bit, as the serial one — at every
+/// worker count, for both GA schedulers, across seeds. Fitness evaluation
+/// draws no randomness and results are written back by chromosome index,
+/// so thread scheduling cannot leak into the population ordering or any
+/// downstream RNG draw; these tests hold that line.
+fn assert_parallel_matches_serial(name: &str) {
+    for seed in [SEED, 0x5EED_CAFE] {
+        let serial = run_once_seeded(name, Evaluator::Serial, seed);
+        for workers in [2, 8] {
+            let par = run_once_seeded(name, Evaluator::ThreadPool { workers }, seed);
+            assert_identical(
+                &format!("{name}/seed={seed:#x}/workers={workers}"),
+                &serial,
+                &par,
+            );
+        }
+    }
+}
+
+#[test]
+fn pn_parallel_evaluation_is_bit_identical() {
+    assert_parallel_matches_serial("PN");
+}
+
+#[test]
+fn zomaya_parallel_evaluation_is_bit_identical() {
+    assert_parallel_matches_serial("ZO");
+}
+
 /// Different seeds must actually change the outcome — guards against the
 /// opposite failure mode where a seed is silently ignored.
 #[test]
@@ -140,7 +177,7 @@ fn seed_changes_outcome() {
     let mut config = SimConfig::default();
     config.record_trace = true;
     config.seed = (SEED + 1) ^ 0xFACE;
-    let other = Simulation::new(cluster, tasks, scheduler("PN"), config)
+    let other = Simulation::new(cluster, tasks, scheduler("PN", Evaluator::Serial), config)
         .run()
         .expect("shifted-seed run completes");
     assert_ne!(
