@@ -1,0 +1,226 @@
+//! `perf_warmstart` — does GA population carry-over pay off in dynamic
+//! scenarios?
+//!
+//! The paper reseeds the GA from scratch on every `plan` invocation; with
+//! [`dts_core::SeedStrategy::CarryOver`] the scheduler instead warm-starts
+//! each batch from the previous batch's remapped elites. This bench sweeps
+//! the three arrival processes (`AllAtStart`, `PoissonStream`,
+//! `UniformOver`) × warm-start {off, on} for both GA schedulers (PN, ZO)
+//! and reports, per cell over `DTS_REPS` replications:
+//!
+//! * median/p95 **generations per batch** — with the plateau stop enabled
+//!   (`DTS_PLATEAU`, both arms identically), a warm-started run that
+//!   re-converges faster evolves fewer generations;
+//! * median/p95 **scheduler_busy** — modelled seconds the dedicated
+//!   scheduler host spent planning (fewer generations ⇒ less busy time);
+//! * median/p95 **makespan** — the schedule quality must not regress.
+//!
+//! Results are printed as a table and written as machine-readable JSON to
+//! `BENCH_warm_start.json` (override with `DTS_OUT`) — the repo's
+//! perf-trajectory record for the warm-start lifecycle. Generation counts
+//! and makespans are *simulated* quantities, so the JSON is bit-identical
+//! on any host at any evaluator worker count; only wall-clock (not
+//! recorded) varies.
+//!
+//! Knobs: `DTS_REPS` (default 9), `DTS_TASKS` (240), `DTS_PROCS` (10),
+//! `DTS_BATCH` (30), `DTS_GENS` (300), `DTS_PLATEAU` (30),
+//! `DTS_WARM_ELITES` (5), `DTS_SEED`, `DTS_THREADS`, `DTS_EVAL_WORKERS`,
+//! `DTS_OUT`.
+
+use dts_bench::{env_or, BuildOptions, SchedulerKind};
+use dts_core::SeedStrategy;
+use dts_model::{ArrivalProcess, ClusterSpec, SizeDistribution, WorkloadSpec};
+use dts_sim::{run_replicated, SimConfig};
+
+/// One measured cell of the sweep.
+struct Cell {
+    scheduler: &'static str,
+    arrival: &'static str,
+    warm: bool,
+    gens_per_batch: Summary,
+    scheduler_busy: Summary,
+    makespan: Summary,
+    plan_invocations: Summary,
+}
+
+/// Median/p95 over replications.
+#[derive(Clone, Copy)]
+struct Summary {
+    median: f64,
+    p95: f64,
+}
+
+fn summarize(samples: &mut [f64]) -> Summary {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len();
+    Summary {
+        median: samples[n / 2],
+        p95: samples[((n * 95) / 100).min(n - 1)],
+    }
+}
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 9);
+    let tasks: usize = env_or("DTS_TASKS", 240);
+    let procs: usize = env_or("DTS_PROCS", 10);
+    let batch: usize = env_or("DTS_BATCH", 30);
+    let gens: u32 = env_or("DTS_GENS", 300);
+    let plateau: u32 = env_or("DTS_PLATEAU", 30);
+    let elites: usize = env_or("DTS_WARM_ELITES", 5);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let threads: usize = env_or("DTS_THREADS", 1);
+    let eval_workers: usize = env_or("DTS_EVAL_WORKERS", 1);
+    let out_path: String = env_or("DTS_OUT", "BENCH_warm_start.json".to_string());
+
+    // Mean task ≈ 1000 MFLOPs on 50–150 Mflop/s processors: ~10 s of
+    // compute each, so streamed arrivals genuinely interleave with
+    // execution and the scheduler plans many small batches.
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
+    let cluster = ClusterSpec::paper_defaults(procs, 2.0);
+    let arrivals: [(&'static str, ArrivalProcess); 3] = [
+        ("all_at_start", ArrivalProcess::AllAtStart),
+        (
+            "poisson_stream",
+            ArrivalProcess::PoissonStream {
+                mean_interarrival: 1.0,
+            },
+        ),
+        (
+            "uniform_over",
+            ArrivalProcess::UniformOver { window: 200.0 },
+        ),
+    ];
+
+    eprintln!(
+        "perf_warmstart: 2 schedulers × {} arrivals × warm {{off,on}}, \
+         {reps} reps, {tasks} tasks, {procs} procs, batch {batch}, \
+         gens ≤ {gens}, plateau {plateau}, elites {elites}, seed {seed}",
+        arrivals.len()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:>4} {:>14} {:>5} {:>12} {:>14} {:>12} {:>8}",
+        "kind", "arrival", "warm", "gens/batch", "sched_busy_s", "makespan_s", "plans"
+    );
+    for kind in [SchedulerKind::Pn, SchedulerKind::Zo] {
+        for (arrival_label, arrival) in &arrivals {
+            for warm in [false, true] {
+                let mut build = BuildOptions::default();
+                build.batch_size = batch;
+                build.max_generations = gens;
+                // The plateau stop is what converts faster convergence
+                // into fewer generations; both arms get it identically.
+                build.plateau_generations = Some(plateau);
+                build.evaluator = dts_ga::Evaluator::threads(eval_workers);
+                build.seed_strategy = if warm {
+                    SeedStrategy::CarryOver { elites }
+                } else {
+                    SeedStrategy::Fresh
+                };
+                let tag = kind.seed_tag();
+                let factory = move |n: usize, s: u64| kind.build_with(n, s ^ tag, &build);
+
+                let workload = WorkloadSpec {
+                    count: tasks,
+                    sizes: sizes.clone(),
+                    arrival: arrival.clone(),
+                };
+                let reports = run_replicated(
+                    &cluster,
+                    &workload,
+                    &factory,
+                    &SimConfig::default(),
+                    seed,
+                    reps,
+                    threads,
+                );
+
+                let mut gens_per_batch = Vec::with_capacity(reps);
+                let mut busy = Vec::with_capacity(reps);
+                let mut makespan = Vec::with_capacity(reps);
+                let mut plans = Vec::with_capacity(reps);
+                for r in reports {
+                    let r = r.expect("replication completes");
+                    assert_eq!(r.tasks_completed as usize, tasks);
+                    gens_per_batch
+                        .push(r.total_generations as f64 / r.plan_invocations.max(1) as f64);
+                    busy.push(r.scheduler_busy);
+                    makespan.push(r.makespan);
+                    plans.push(r.plan_invocations as f64);
+                }
+                let cell = Cell {
+                    scheduler: kind.label(),
+                    arrival: arrival_label,
+                    warm,
+                    gens_per_batch: summarize(&mut gens_per_batch),
+                    scheduler_busy: summarize(&mut busy),
+                    makespan: summarize(&mut makespan),
+                    plan_invocations: summarize(&mut plans),
+                };
+                println!(
+                    "{:>4} {:>14} {:>5} {:>12.1} {:>14.4} {:>12.1} {:>8.0}",
+                    cell.scheduler,
+                    cell.arrival,
+                    if warm { "on" } else { "off" },
+                    cell.gens_per_batch.median,
+                    cell.scheduler_busy.median,
+                    cell.makespan.median,
+                    cell.plan_invocations.median,
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"warm_start\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{ \"reps\": {reps}, \"tasks\": {tasks}, \"procs\": {procs}, \
+         \"batch\": {batch}, \"max_generations\": {gens}, \"plateau_generations\": {plateau}, \
+         \"elites\": {elites}, \"seed\": {seed} }},\n"
+    ));
+    json.push_str(
+        "  \"note\": \"all quantities are simulated (deterministic per seed, host- and \
+         worker-count-independent); generations_per_batch = total GA generations / plan \
+         invocations; scheduler_busy = modelled seconds the dedicated scheduler host spent \
+         planning; both arms run the same plateau early-stop so convergence speed shows up \
+         as generation counts\",\n",
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"scheduler\": \"{}\", \"arrival\": \"{}\", \"warm_start\": {}, \
+             \"median_generations_per_batch\": {:.3}, \"p95_generations_per_batch\": {:.3}, \
+             \"median_scheduler_busy_s\": {:.6}, \"p95_scheduler_busy_s\": {:.6}, \
+             \"median_makespan_s\": {:.3}, \"p95_makespan_s\": {:.3}, \
+             \"median_plan_invocations\": {:.0} }}{}\n",
+            c.scheduler,
+            c.arrival,
+            c.warm,
+            c.gens_per_batch.median,
+            c.gens_per_batch.p95,
+            c.scheduler_busy.median,
+            c.scheduler_busy.p95,
+            c.makespan.median,
+            c.makespan.p95,
+            c.plan_invocations.median,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_warm_start.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,6 +1,6 @@
 //! The roster of all seven schedulers, buildable by name.
 
-use dts_core::{PnConfig, PnScheduler};
+use dts_core::{PnConfig, PnScheduler, SeedStrategy};
 use dts_ga::Evaluator;
 use dts_model::Scheduler;
 use dts_schedulers::{
@@ -65,6 +65,16 @@ impl SchedulerKind {
         }
     }
 
+    /// A stable per-kind tag (FNV-1a of the label) folded into the
+    /// scheduler seed by [`crate::Scenario::run`], so every scheduler sees
+    /// the same clusters/workloads per replication while the GA
+    /// schedulers' private RNG streams stay decorrelated across kinds.
+    pub fn seed_tag(self) -> u64 {
+        self.label().bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }
+
     /// Builds a fresh instance with default (paper) configurations.
     pub fn build(self, n_procs: usize, seed: u64) -> Box<dyn Scheduler> {
         self.build_with(n_procs, seed, &BuildOptions::default())
@@ -82,7 +92,9 @@ impl SchedulerKind {
                 let mut cfg = ZoConfig::default();
                 cfg.batch_size = opts.batch_size;
                 cfg.ga.max_generations = opts.max_generations;
+                cfg.ga.plateau_generations = opts.plateau_generations;
                 cfg.ga.evaluator = opts.evaluator;
+                cfg.seed_strategy = opts.seed_strategy;
                 cfg.seed = seed;
                 Box::new(Zomaya::new(n_procs, cfg))
             }
@@ -94,7 +106,9 @@ impl SchedulerKind {
                 // through `BuildOptions::pn` instead.
                 cfg.max_batch = cfg.max_batch.min(opts.batch_size);
                 cfg.ga.max_generations = opts.max_generations;
+                cfg.ga.plateau_generations = opts.plateau_generations;
                 cfg.ga.evaluator = opts.evaluator;
+                cfg.seed_strategy = opts.seed_strategy;
                 cfg.seed = seed;
                 Box::new(PnScheduler::new(n_procs, cfg))
             }
@@ -113,6 +127,14 @@ pub struct BuildOptions {
     /// Fitness-evaluation strategy for the GA schedulers (ZO and PN).
     /// Serial by default; `DTS_EVAL_WORKERS` overrides it in scenarios.
     pub evaluator: Evaluator,
+    /// Population seeding per plan invocation for the GA schedulers:
+    /// fresh (paper default) or elite carry-over across batches.
+    /// `DTS_WARM_ELITES` overrides it in scenarios.
+    pub seed_strategy: SeedStrategy,
+    /// Plateau early-stop for the GA schedulers (stop after this many
+    /// generations without improvement); `None` keeps the paper's
+    /// fixed-budget behaviour.
+    pub plateau_generations: Option<u32>,
     /// Base PN configuration (rebalances, init fraction, …).
     pub pn: PnConfig,
 }
@@ -123,6 +145,8 @@ impl Default for BuildOptions {
             batch_size: 200,
             max_generations: 1000,
             evaluator: Evaluator::Serial,
+            seed_strategy: SeedStrategy::Fresh,
+            plateau_generations: None,
             pn: PnConfig::default(),
         }
     }
@@ -153,7 +177,23 @@ mod tests {
     fn build_options_propagate() {
         let mut opts = BuildOptions::default();
         opts.batch_size = 32;
-        let s = SchedulerKind::Mm.build_with(4, 1, &opts);
-        assert_eq!(s.name(), "MM");
+        opts.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
+        opts.plateau_generations = Some(20);
+        for kind in [SchedulerKind::Mm, SchedulerKind::Zo, SchedulerKind::Pn] {
+            let s = kind.build_with(4, 1, &opts);
+            assert_eq!(s.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn seed_tags_are_distinct_and_stable() {
+        let tags: std::collections::HashSet<u64> =
+            ALL_SCHEDULERS.iter().map(|k| k.seed_tag()).collect();
+        assert_eq!(tags.len(), ALL_SCHEDULERS.len(), "tag collision");
+        assert_eq!(
+            SchedulerKind::Pn.seed_tag(),
+            SchedulerKind::Pn.seed_tag(),
+            "tags must be stable across calls"
+        );
     }
 }

@@ -66,6 +66,13 @@ impl Scenario {
         // threads are the better lever for many small runs; this knob wins
         // when individual runs are large (see BENCH_parallel_eval.json).
         build.evaluator = dts_ga::Evaluator::threads(env_or("DTS_EVAL_WORKERS", 1));
+        // Warm-start carry-over for the GA schedulers: DTS_WARM_ELITES=k
+        // carries the k best schedules of each batch into the next batch's
+        // initial population (0 or unset = fresh §3.3 seeding).
+        let elites: usize = env_or("DTS_WARM_ELITES", 0);
+        if elites > 0 {
+            build.seed_strategy = dts_core::SeedStrategy::CarryOver { elites };
+        }
         Self {
             cluster: ClusterSpec {
                 processors: procs,
@@ -88,19 +95,31 @@ impl Scenario {
         self
     }
 
+    /// The scheduler factory [`Scenario::run`] uses: builds `kind` with
+    /// this scenario's options, folding the kind's [`SchedulerKind::seed_tag`]
+    /// into the scheduler seed only. Cluster and workload seeds fan out of
+    /// the replication seed *before* the factory is consulted, so every
+    /// scheduler kind sees the identical sequence of clusters/workloads
+    /// per replication (paper: "all schedulers were presented with the
+    /// same set of tasks") while the GA schedulers' private RNG streams
+    /// stay decorrelated across kinds.
+    pub fn factory_for(
+        &self,
+        kind: SchedulerKind,
+    ) -> impl Fn(usize, u64) -> Box<dyn dts_model::Scheduler> + Sync {
+        let build = self.build.clone();
+        let tag = kind.seed_tag();
+        move |n: usize, seed: u64| kind.build_with(n, seed ^ tag, &build)
+    }
+
     /// Runs one scheduler across all replications and aggregates.
     pub fn run(&self, kind: SchedulerKind) -> ScenarioResult {
-        let build = self.build.clone();
-        let factory = move |n: usize, seed: u64| kind.build_with(n, seed, &build);
+        let factory = self.factory_for(kind);
         let reports = run_replicated(
             &self.cluster,
             &self.workload,
             &factory,
             &self.sim,
-            // Fold the scheduler into the seed so every scheduler sees the
-            // same sequence of clusters/workloads (paper: "all schedulers
-            // were presented with the same set of tasks") while GA seeds
-            // still differ per replication.
             self.seed,
             self.reps,
             self.threads,
@@ -183,6 +202,62 @@ mod tests {
         assert_eq!(r.failures, 0);
         assert_eq!(r.makespan.count(), 3);
         assert!(r.efficiency.mean() > 0.0);
+    }
+
+    #[test]
+    fn scheduler_kinds_see_identical_workloads_per_replication() {
+        // The seed fold must decorrelate GA streams *without* perturbing
+        // the cluster/workload sequence: for every replication seed, every
+        // scheduler kind must be handed the identical task set.
+        use dts_distributions::SeedSequence;
+        use dts_sim::run_simulation;
+
+        let mut s = Scenario::paper_base(
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 200.0,
+            },
+            24,
+            2,
+        );
+        s.cluster.processors = 4;
+        s.build.batch_size = 12;
+        s.build.max_generations = 20;
+        s.sim.record_trace = true;
+
+        let seq = SeedSequence::new(s.seed);
+        for rep in 0..2u64 {
+            let rep_seed = seq.seed_at(rep);
+            let mut task_sets: Vec<Vec<(usize, u64)>> = Vec::new();
+            for kind in [SchedulerKind::Ef, SchedulerKind::Rr, SchedulerKind::Zo] {
+                let factory = s.factory_for(kind);
+                let report = run_simulation(&s.cluster, &s.workload, &factory, &s.sim, rep_seed)
+                    .expect("replication completes");
+                let mut tasks: Vec<(usize, u64)> = report
+                    .trace
+                    .expect("trace recorded")
+                    .spans()
+                    .iter()
+                    .map(|sp| (sp.task.index(), sp.mflops.to_bits()))
+                    .collect();
+                tasks.sort_unstable();
+                task_sets.push(tasks);
+            }
+            assert_eq!(task_sets[0], task_sets[1], "EF vs RR, rep {rep}");
+            assert_eq!(task_sets[0], task_sets[2], "EF vs ZO, rep {rep}");
+        }
+    }
+
+    #[test]
+    fn seed_fold_decorrelates_ga_streams() {
+        // Same replication seed, different kind tags: the scheduler seed
+        // handed to the factory differs, so two GA schedulers cannot share
+        // an RNG stream by accident.
+        assert_ne!(
+            SchedulerKind::Zo.seed_tag(),
+            SchedulerKind::Pn.seed_tag(),
+            "GA kinds must fold distinct tags into their seeds"
+        );
     }
 
     #[test]

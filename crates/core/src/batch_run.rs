@@ -74,6 +74,34 @@ pub fn schedule_batch_capped(
     )
 }
 
+/// [`schedule_batch_capped`] warm-started from `warm_seeds`: chromosomes
+/// already remapped onto this batch's shape (see
+/// [`crate::init::remap_elite`]), best first. They occupy the head of the
+/// initial population; the remainder is filled with fresh §3.3
+/// list-scheduled individuals. Seeds whose shape does not match the batch
+/// are skipped, so a stale carry-over can never poison the run. An empty
+/// slice is exactly [`schedule_batch_capped`].
+pub fn schedule_batch_warm(
+    batch: &[Task],
+    procs: &[ProcessorState],
+    config: &PnConfig,
+    warm_seeds: &[Chromosome],
+    max_generations_override: Option<u32>,
+    seed: u64,
+) -> BatchOutcome {
+    run_batch_ga(
+        batch,
+        procs,
+        config,
+        &RouletteWheel,
+        &CycleCrossover,
+        &SwapMutation,
+        warm_seeds,
+        max_generations_override,
+        seed,
+    )
+}
+
 /// [`schedule_batch_capped`] with pluggable GA operators — the entry point
 /// of the `ablate_selection` and `ablate_crossover` studies.
 #[allow(clippy::too_many_arguments)]
@@ -87,18 +115,55 @@ pub fn schedule_batch_with_ops(
     max_generations_override: Option<u32>,
     seed: u64,
 ) -> BatchOutcome {
+    run_batch_ga(
+        batch,
+        procs,
+        config,
+        selection,
+        crossover,
+        mutation,
+        &[],
+        max_generations_override,
+        seed,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batch_ga(
+    batch: &[Task],
+    procs: &[ProcessorState],
+    config: &PnConfig,
+    selection: &dyn SelectionOp,
+    crossover: &dyn CrossoverOp,
+    mutation: &dyn MutationOp,
+    warm_seeds: &[Chromosome],
+    max_generations_override: Option<u32>,
+    seed: u64,
+) -> BatchOutcome {
     assert!(!batch.is_empty(), "cannot schedule an empty batch");
     config.validate().expect("invalid PnConfig");
     let mut rng = Prng::seed_from(seed);
 
     let problem = BatchProblem::new(batch, procs, config);
-    let initial = initial_population(
-        batch,
-        procs,
-        config.ga.population_size,
-        config.init_random_fraction,
-        &mut rng,
-    );
+    let mut initial: Vec<Chromosome> = warm_seeds
+        .iter()
+        .filter(|c| {
+            c.n_tasks() as usize == batch.len()
+                && c.n_procs() as usize == procs.len()
+                && c.validate().is_ok()
+        })
+        .take(config.ga.population_size)
+        .cloned()
+        .collect();
+    if initial.len() < config.ga.population_size {
+        initial.extend(initial_population(
+            batch,
+            procs,
+            config.ga.population_size - initial.len(),
+            config.init_random_fraction,
+            &mut rng,
+        ));
+    }
 
     let engine = GaEngine::new(selection, crossover, mutation, config.ga.clone());
     let ga = engine.run(&problem, initial, max_generations_override, &mut rng);
@@ -220,6 +285,65 @@ mod tests {
             assert_eq!(par.best_fitness.to_bits(), serial.best_fitness.to_bits());
             assert_eq!(par.generations, serial.generations);
         }
+    }
+
+    #[test]
+    fn warm_seeds_enter_the_population() {
+        // A 1-generation run with a perfect warm seed: elitism keeps the
+        // seed, so the outcome can be no worse than the seeded schedule.
+        let b = batch(&[100.0, 100.0, 100.0, 100.0]);
+        let p = procs(&[100.0, 100.0]);
+        let seeded = Chromosome::from_queues(&[vec![0, 1], vec![2, 3]]);
+        let mut cfg = quick_config(1);
+        cfg.init_random_fraction = (1.0, 1.0); // fresh fill is all-random
+        let out = schedule_batch_warm(&b, &p, &cfg, &[seeded.clone()], None, 11);
+        // The balanced seed achieves the 2.0 s optimum.
+        assert!(
+            (out.best_makespan - 2.0).abs() < 1e-9,
+            "{}",
+            out.best_makespan
+        );
+    }
+
+    #[test]
+    fn warm_run_with_empty_seeds_matches_fresh() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0]);
+        let p = procs(&[100.0, 150.0]);
+        let fresh = schedule_batch(&b, &p, &quick_config(50), 7);
+        let warm = schedule_batch_warm(&b, &p, &quick_config(50), &[], None, 7);
+        assert_eq!(fresh.queues, warm.queues);
+        assert_eq!(fresh.best_makespan.to_bits(), warm.best_makespan.to_bits());
+    }
+
+    #[test]
+    fn mismatched_warm_seeds_are_skipped() {
+        // Seeds shaped for a different batch/cluster must be ignored, not
+        // crash or corrupt the run.
+        let b = batch(&[100.0, 200.0, 50.0]);
+        let p = procs(&[100.0, 150.0]);
+        let wrong_tasks = Chromosome::from_queues(&[vec![0, 1, 2, 3], vec![]]);
+        let wrong_procs = Chromosome::from_queues(&[vec![0], vec![1], vec![2]]);
+        let out = schedule_batch_warm(
+            &b,
+            &p,
+            &quick_config(20),
+            &[wrong_tasks, wrong_procs],
+            None,
+            13,
+        );
+        let mut seen: Vec<u32> = out.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn outcome_exposes_final_population() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0]);
+        let p = procs(&[100.0, 150.0]);
+        let out = schedule_batch(&b, &p, &quick_config(30), 17);
+        let pop = &out.ga.final_population;
+        assert_eq!(pop.len(), PnConfig::default().ga.population_size);
+        assert!(pop.iter().all(|c| c.validate().is_ok()));
     }
 
     #[test]

@@ -4,6 +4,46 @@ use dts_ga::{Evaluator, GaConfig};
 
 use crate::time_model::GaTimeModel;
 
+/// How the GA's initial population is seeded on each `plan` invocation.
+///
+/// The paper reseeds every batch from scratch via the §3.3 list-scheduling
+/// initialiser. `CarryOver` instead warm-starts each run from the previous
+/// batch's fittest schedules: because genes are batch-local slot indices,
+/// the carried elites are first *remapped* onto the new batch's shape
+/// ([`crate::init::remap_elite`]) — overlapping slots keep their
+/// processor-queue positions, new slots are placed earliest-finish — and
+/// the remainder of the population is filled with fresh list-scheduled
+/// individuals. Warm-starting transfers the evolved load-balance structure
+/// across invocations, so the GA needs fewer generations to re-converge in
+/// dynamic-arrival scenarios (see `perf_warmstart` / BENCH_warm_start.json).
+///
+/// Either strategy is deterministic: the carried population is itself a
+/// pure function of the seeds, and the remap draws no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedStrategy {
+    /// Reseed from scratch every invocation (the paper's behaviour).
+    Fresh,
+    /// Carry the best `elites` schedules of the previous run forward as
+    /// warm-start seeds (capped by the population size).
+    CarryOver {
+        /// How many of the previous run's best schedules to carry.
+        elites: usize,
+    },
+}
+
+impl SeedStrategy {
+    /// True for [`SeedStrategy::CarryOver`].
+    pub fn is_carry_over(self) -> bool {
+        matches!(self, SeedStrategy::CarryOver { .. })
+    }
+}
+
+impl Default for SeedStrategy {
+    fn default() -> Self {
+        SeedStrategy::Fresh
+    }
+}
+
 /// All knobs of the PN scheduler. [`PnConfig::default`] reproduces the
 /// paper's §4.2 setup: micro-GA population of 20, up to 1000 generations,
 /// one rebalance per individual per generation with 5 probes, batch size
@@ -57,6 +97,10 @@ pub struct PnConfig {
     /// Use smoothed communication estimates in the fitness (the paper's
     /// key differentiator). Disabling gives the `no-comm` ablation.
     pub use_comm_estimates: bool,
+    /// How each `plan` invocation seeds its GA population: fresh §3.3
+    /// list-scheduling (the paper), or warm-started from the previous
+    /// batch's elites.
+    pub seed_strategy: SeedStrategy,
     /// Seed for the scheduler's private RNG stream.
     pub seed: u64,
 }
@@ -75,6 +119,7 @@ impl Default for PnConfig {
             min_generations: 10,
             time_model: GaTimeModel::default(),
             use_comm_estimates: true,
+            seed_strategy: SeedStrategy::Fresh,
             seed: 0x9A6E_2005,
         }
     }
@@ -86,6 +131,21 @@ impl PnConfig {
     /// bit-identical at any worker count (`tests/determinism.rs`).
     pub fn with_eval_workers(mut self, workers: usize) -> Self {
         self.ga.evaluator = Evaluator::threads(workers);
+        self
+    }
+
+    /// Warm-starts every `plan` invocation from the previous batch's best
+    /// `elites` schedules (see [`SeedStrategy::CarryOver`]):
+    ///
+    /// ```
+    /// use dts_core::{PnConfig, config::SeedStrategy};
+    ///
+    /// let cfg = PnConfig::default().with_warm_start(5);
+    /// assert_eq!(cfg.seed_strategy, SeedStrategy::CarryOver { elites: 5 });
+    /// assert!(cfg.validate().is_ok());
+    /// ```
+    pub fn with_warm_start(mut self, elites: usize) -> Self {
+        self.seed_strategy = SeedStrategy::CarryOver { elites };
         self
     }
 
@@ -107,6 +167,9 @@ impl PnConfig {
         }
         if self.batch_scale <= 0.0 {
             return Err("batch_scale must be positive".into());
+        }
+        if self.seed_strategy == (SeedStrategy::CarryOver { elites: 0 }) {
+            return Err("carry-over elites must be ≥ 1".into());
         }
         Ok(())
     }
@@ -149,5 +212,19 @@ mod tests {
         let mut c = PnConfig::default();
         c.batch_nu = 2.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_zero_elites() {
+        let c = PnConfig::default().with_warm_start(0);
+        assert!(c.validate().is_err());
+        assert!(PnConfig::default().with_warm_start(5).validate().is_ok());
+    }
+
+    #[test]
+    fn seed_strategy_default_is_fresh() {
+        assert_eq!(SeedStrategy::default(), SeedStrategy::Fresh);
+        assert!(!SeedStrategy::Fresh.is_carry_over());
+        assert!(SeedStrategy::CarryOver { elites: 3 }.is_carry_over());
     }
 }

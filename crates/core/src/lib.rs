@@ -67,8 +67,12 @@ pub mod rebalance;
 pub mod scheduler;
 pub mod time_model;
 
-pub use batch_run::{schedule_batch, schedule_batch_capped, schedule_batch_with_ops, BatchOutcome};
-pub use config::PnConfig;
+pub use batch_run::{
+    schedule_batch, schedule_batch_capped, schedule_batch_warm, schedule_batch_with_ops,
+    BatchOutcome,
+};
+pub use config::{PnConfig, SeedStrategy};
 pub use fitness::{BatchProblem, ProcessorState};
+pub use init::remap_elite;
 pub use scheduler::PnScheduler;
 pub use time_model::GaTimeModel;

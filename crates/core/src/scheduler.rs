@@ -12,17 +12,24 @@
 //!   [`GaTimeModel`](crate::time_model::GaTimeModel);
 //! * communication-cost and execution-rate estimates arrive via the
 //!   [`SystemView`], which the simulator maintains with the §3.6 smoothing
-//!   function.
+//!   function;
+//! * with [`SeedStrategy::CarryOver`] the scheduler keeps the previous
+//!   batch's final GA population and warm-starts the next run from its
+//!   remapped elites (see [`crate::init::remap_elite`]) — the only state
+//!   that persists across `plan` calls besides the queues, and itself a
+//!   pure function of the seeds.
 
 use std::collections::VecDeque;
 
 use dts_distributions::{Prng, Rng};
+use dts_ga::Chromosome;
 use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
-use crate::batch_run::schedule_batch_capped;
+use crate::batch_run::schedule_batch_warm;
 use crate::batching::BatchSizer;
-use crate::config::PnConfig;
+use crate::config::{PnConfig, SeedStrategy};
 use crate::fitness::ProcessorState;
+use crate::init::remap_elite;
 
 /// The PN dynamic GA scheduler.
 pub struct PnScheduler {
@@ -32,6 +39,10 @@ pub struct PnScheduler {
     batch_sizer: BatchSizer,
     rng: Prng,
     batches_planned: u64,
+    /// The previous batch's final population (best first), kept when
+    /// [`SeedStrategy::CarryOver`] is configured; the head is remapped
+    /// onto the next batch as warm-start seeds.
+    carried: Option<Vec<Chromosome>>,
 }
 
 impl PnScheduler {
@@ -57,6 +68,7 @@ impl PnScheduler {
             batch_sizer,
             rng,
             batches_planned: 0,
+            carried: None,
         }
     }
 
@@ -140,7 +152,26 @@ impl Scheduler for PnScheduler {
         // --- evolve ------------------------------------------------------
         let states = self.processor_states(view);
         let seed = self.rng.next_u64();
-        let outcome = schedule_batch_capped(&batch, &states, &self.config, Some(budget), seed);
+        // Warm start (SeedStrategy::CarryOver): remap the previous batch's
+        // elites onto this batch's shape. The remap is deterministic, so
+        // the whole lifecycle stays a pure function of the seeds.
+        let warm: Vec<Chromosome> = match (self.config.seed_strategy, &self.carried) {
+            (SeedStrategy::CarryOver { elites }, Some(prev)) => prev
+                .iter()
+                .take(elites)
+                .map(|c| remap_elite(c, &batch, &states))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let mut outcome =
+            schedule_batch_warm(&batch, &states, &self.config, &warm, Some(budget), seed);
+        if let SeedStrategy::CarryOver { elites } = self.config.seed_strategy {
+            // Only the top `elites` schedules are ever read back; move them
+            // out of the outcome instead of cloning the whole population.
+            let mut pop = std::mem::take(&mut outcome.ga.final_population);
+            pop.truncate(elites);
+            self.carried = Some(pop);
+        }
 
         // --- commit the winning assignment -------------------------------
         for (proc, queue) in outcome.queues.iter().enumerate() {
@@ -305,5 +336,97 @@ mod tests {
         let s = PnScheduler::new(1, quick_config());
         assert_eq!(s.name(), "PN");
         assert_eq!(s.mode(), SchedulerMode::Batch);
+    }
+
+    /// Drains a scheduler's queues into per-processor task-id lists.
+    fn drain_ids(s: &mut PnScheduler, n: usize) -> Vec<Vec<dts_model::TaskId>> {
+        (0..n)
+            .map(|i| {
+                let mut ids = Vec::new();
+                while let Some(t) = s.next_task_for(ProcessorId(i as u16)) {
+                    ids.push(t.id);
+                }
+                ids
+            })
+            .collect()
+    }
+
+    /// Heterogeneous sizes: equal-size tasks make fresh and warm runs
+    /// converge to the same plan, hiding carry-over effects.
+    fn varied_tasks(n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                let size = 50.0 + (i as f64 * 37.0) % 400.0;
+                Task::new(TaskId(i as u32), size, SimTime::ZERO)
+            })
+            .collect()
+    }
+
+    fn run_batches(mut cfg: PnConfig, batches: usize) -> Vec<Vec<dts_model::TaskId>> {
+        cfg.initial_batch = 10;
+        cfg.max_batch = 10;
+        let mut s = PnScheduler::new(3, cfg);
+        s.enqueue(&varied_tasks(10 * batches));
+        let v = view(&[100.0, 150.0, 80.0]);
+        for _ in 0..batches {
+            s.plan(&v);
+        }
+        assert_eq!(s.unscheduled_len(), 0);
+        drain_ids(&mut s, 3)
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_complete() {
+        let cfg = || {
+            let mut c = quick_config();
+            c.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
+            c
+        };
+        let a = run_batches(cfg(), 4);
+        let b = run_batches(cfg(), 4);
+        assert_eq!(a, b, "warm-start runs must be bit-stable");
+        let total: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(total, 40, "every task dispatched exactly once");
+    }
+
+    #[test]
+    fn warm_start_changes_later_batches_only() {
+        // The first batch has nothing to carry, so fresh and warm runs
+        // coincide; from the second batch on the seeds (and RNG draw
+        // counts) differ, so the plans may diverge.
+        let fresh = run_batches(quick_config(), 4);
+        let warm = run_batches(
+            {
+                let mut c = quick_config();
+                c.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
+                c
+            },
+            4,
+        );
+        let total_fresh: usize = fresh.iter().map(Vec::len).sum();
+        let total_warm: usize = warm.iter().map(Vec::len).sum();
+        assert_eq!(total_fresh, 40);
+        assert_eq!(total_warm, 40);
+        assert_ne!(
+            fresh, warm,
+            "carry-over should alter the evolved plans after batch 1"
+        );
+    }
+
+    #[test]
+    fn fresh_strategy_never_retains_population() {
+        let mut s = PnScheduler::new(2, quick_config());
+        s.enqueue(&tasks(20, 100.0));
+        let v = view(&[100.0, 100.0]);
+        s.plan(&v);
+        assert!(s.carried.is_none(), "Fresh must not accumulate state");
+        let mut c = quick_config();
+        c.seed_strategy = SeedStrategy::CarryOver { elites: 3 };
+        let mut s = PnScheduler::new(2, c);
+        s.enqueue(&tasks(20, 100.0));
+        s.plan(&v);
+        let pop = s.carried.as_ref().expect("carry-over retains population");
+        assert_eq!(pop.len(), 3, "only the elites are retained");
+        assert!(pop.iter().all(|ch| ch.validate().is_ok()));
     }
 }

@@ -104,6 +104,12 @@ pub struct GaConfig {
     /// Stop as soon as the best makespan drops below this value (§3.4's
     /// "specified minimum").
     pub target_makespan: Option<f64>,
+    /// Stop after this many consecutive generations without an improvement
+    /// in the best makespan (a convergence plateau). Composes with
+    /// [`GaConfig::max_generations`] and the external §3.4 idle-horizon
+    /// budget: whichever limit is hit first stops the run. `None` (the
+    /// default) disables the plateau check; `Some(0)` is rejected.
+    pub plateau_generations: Option<u32>,
     /// Record per-generation statistics (needed by Fig. 3; costs memory).
     pub record_history: bool,
     /// How fitness batches are executed ([`Evaluator::Serial`] or a scoped
@@ -122,6 +128,7 @@ impl Default for GaConfig {
             elitism: 1,
             max_generations: 1000,
             target_makespan: None,
+            plateau_generations: None,
             record_history: false,
             evaluator: Evaluator::Serial,
         }
@@ -136,6 +143,9 @@ pub enum StopReason {
     /// [`GaConfig::max_generations`] exhausted (or an external budget —
     /// e.g. a processor about to go idle — capped the run).
     MaxGenerations,
+    /// [`GaConfig::plateau_generations`] consecutive generations passed
+    /// without the best makespan improving.
+    Plateau,
 }
 
 /// Per-generation statistics, recorded when
@@ -168,6 +178,11 @@ pub struct GaResult {
     pub stop_reason: StopReason,
     /// Per-generation history (empty unless requested).
     pub history: Vec<GenStats>,
+    /// The final population, sorted by makespan ascending (best schedule
+    /// first, ties kept in population order). Callers that plan batch
+    /// after batch — the dynamic schedulers — carry the head of this list
+    /// forward as warm-start seeds for the next run.
+    pub final_population: Vec<Chromosome>,
 }
 
 struct Individual {
@@ -201,6 +216,10 @@ impl<'a> GaEngine<'a> {
             "elitism must leave room for offspring"
         );
         assert!((0.0..=1.0).contains(&config.crossover_rate));
+        assert!(
+            config.plateau_generations != Some(0),
+            "plateau_generations must be ≥ 1 when set"
+        );
         Self {
             selection,
             crossover,
@@ -298,10 +317,14 @@ impl<'a> GaEngine<'a> {
                     generations,
                     stop_reason,
                     history,
+                    final_population: Self::ranked_population(pop),
                 };
             }
         }
 
+        // Consecutive generations without a best-makespan improvement
+        // (drives the optional plateau stop).
+        let mut stale_generations = 0u32;
         let mut fitness_buf: Vec<f64> = Vec::with_capacity(pop_size);
         while generations < max_gens {
             generations += 1;
@@ -413,6 +436,9 @@ impl<'a> GaEngine<'a> {
                 best = pop[best_idx].chrom.clone();
                 best_makespan = pop[best_idx].makespan;
                 best_fitness = pop[best_idx].fitness;
+                stale_generations = 0;
+            } else {
+                stale_generations += 1;
             }
 
             record(generations, &pop, &mut history);
@@ -420,6 +446,12 @@ impl<'a> GaEngine<'a> {
             if let Some(target) = self.config.target_makespan {
                 if best_makespan <= target {
                     stop_reason = StopReason::TargetReached;
+                    break;
+                }
+            }
+            if let Some(k) = self.config.plateau_generations {
+                if stale_generations >= k {
+                    stop_reason = StopReason::Plateau;
                     break;
                 }
             }
@@ -432,7 +464,18 @@ impl<'a> GaEngine<'a> {
             generations,
             stop_reason,
             history,
+            final_population: Self::ranked_population(pop),
         }
+    }
+
+    /// Consumes the working population and returns its chromosomes sorted
+    /// by makespan ascending (stable, so ties keep population order — the
+    /// ordering is a pure function of the evaluated population).
+    fn ranked_population(pop: Vec<Individual>) -> Vec<Chromosome> {
+        let mut ranked: Vec<(f64, Chromosome)> =
+            pop.into_iter().map(|i| (i.makespan, i.chrom)).collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite makespan"));
+        ranked.into_iter().map(|(_, c)| c).collect()
     }
 
     /// Index and makespan of the lowest-makespan individual (§3.4: "the
@@ -643,6 +686,87 @@ mod tests {
                 assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn plateau_stops_stagnant_runs() {
+        // With no crossover and no mutation the population never changes,
+        // so the best makespan is flat from generation 1 on and the
+        // plateau stop must fire after exactly k stale generations.
+        let e = engine(GaConfig {
+            max_generations: 1000,
+            crossover_rate: 0.0,
+            mutations_per_generation: 0,
+            plateau_generations: Some(7),
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(49);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        assert_eq!(result.stop_reason, StopReason::Plateau);
+        assert_eq!(result.generations, 7);
+    }
+
+    #[test]
+    fn plateau_composes_with_generation_override() {
+        // The external (§3.4 idle-horizon) cap binds before the plateau.
+        let e = engine(GaConfig {
+            max_generations: 1000,
+            crossover_rate: 0.0,
+            mutations_per_generation: 0,
+            plateau_generations: Some(50),
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(50);
+        let result = e.run(&Balance, skewed_initial(20), Some(5), &mut rng);
+        assert_eq!(result.stop_reason, StopReason::MaxGenerations);
+        assert_eq!(result.generations, 5);
+    }
+
+    #[test]
+    fn final_population_is_complete_valid_and_ranked() {
+        let e = engine(GaConfig {
+            max_generations: 40,
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(51);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        assert_eq!(result.final_population.len(), 20);
+        assert!(result.final_population.iter().all(|c| c.validate().is_ok()));
+        // Sorted by makespan ascending: the head is the current-population
+        // best (the all-time best may predate the final generation).
+        let spans: Vec<f64> = result
+            .final_population
+            .iter()
+            .map(|c| Balance.makespan(c))
+            .collect();
+        for w in spans.windows(2) {
+            assert!(w[0] <= w[1], "final population not ranked: {spans:?}");
+        }
+        assert!(result.best_makespan <= spans[0]);
+    }
+
+    #[test]
+    fn final_population_present_on_instant_target() {
+        let e = engine(GaConfig {
+            max_generations: 100,
+            target_makespan: Some(1000.0), // already met at generation 0
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(52);
+        let result = e.run(&Balance, skewed_initial(20), None, &mut rng);
+        assert_eq!(result.stop_reason, StopReason::TargetReached);
+        assert_eq!(result.generations, 0);
+        assert_eq!(result.final_population.len(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_plateau_rejected() {
+        let _ = engine(GaConfig {
+            plateau_generations: Some(0),
+            ..GaConfig::default()
+        });
     }
 
     #[test]

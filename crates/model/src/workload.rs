@@ -86,6 +86,56 @@ impl SizeDistribution {
         self.to_distribution().mean()
     }
 
+    /// Checks that the distribution can meaningfully generate task sizes:
+    /// enough of its support must clear [`MIN_TASK_MFLOPS`], because
+    /// samples below the floor are redrawn (and clamped after 64
+    /// attempts). A distribution whose support lies (essentially) entirely
+    /// below the floor — e.g. `Uniform { lo: 0.0, hi: 0.5 }` — would
+    /// silently degenerate the whole workload to 1-MFLOP tasks, so
+    /// [`WorkloadSpec::generate`] rejects it up front via this check.
+    pub fn validate_as_task_sizes(&self) -> Result<(), String> {
+        match *self {
+            SizeDistribution::Constant { value } => {
+                if !value.is_finite() || value < MIN_TASK_MFLOPS {
+                    return Err(format!(
+                        "constant task size {value} is below the {MIN_TASK_MFLOPS}-MFLOP floor"
+                    ));
+                }
+            }
+            SizeDistribution::Uniform { lo, hi } => {
+                if !(lo < hi) {
+                    return Err(format!("invalid uniform bounds [{lo}, {hi})"));
+                }
+                if hi <= MIN_TASK_MFLOPS {
+                    return Err(format!(
+                        "uniform[{lo},{hi}) lies entirely below the \
+                         {MIN_TASK_MFLOPS}-MFLOP floor: every task would clamp to the minimum"
+                    ));
+                }
+            }
+            SizeDistribution::Normal { mean, variance } => {
+                if !(variance > 0.0) || !mean.is_finite() {
+                    return Err(format!("invalid normal(mu={mean}, var={variance})"));
+                }
+                // Support is all of ℝ, but with (essentially) no mass above
+                // the floor the redraw loop degenerates the same way: 8σ
+                // above the mean covers all but ~6e-16 of the distribution.
+                if mean + 8.0 * variance.sqrt() < MIN_TASK_MFLOPS {
+                    return Err(format!(
+                        "normal(mu={mean}, var={variance}) has essentially no mass above \
+                         the {MIN_TASK_MFLOPS}-MFLOP floor"
+                    ));
+                }
+            }
+            SizeDistribution::Poisson { lambda } => {
+                if !(lambda > 0.0) {
+                    return Err(format!("poisson lambda {lambda} must be positive"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Short human-readable label used in experiment tables.
     pub fn label(&self) -> String {
         match self {
@@ -141,7 +191,15 @@ impl WorkloadSpec {
     /// Generates the task set. Identical `(spec, seed)` pairs generate
     /// identical task sets; tasks are sorted by arrival time and densely
     /// numbered in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size distribution cannot generate meaningful task
+    /// sizes (see [`SizeDistribution::validate_as_task_sizes`]).
     pub fn generate(&self, seed: u64) -> Vec<Task> {
+        if let Err(e) = self.sizes.validate_as_task_sizes() {
+            panic!("invalid task-size distribution: {e}");
+        }
         let mut seq = SeedSequence::new(seed);
         let mut size_rng = Prng::seed_from(seq.next_seed());
         let mut arrival_rng = Prng::seed_from(seq.next_seed());
@@ -302,6 +360,43 @@ mod tests {
         let tasks = spec.generate(6);
         assert!(tasks.iter().all(|t| t.arrival.seconds() < 100.0));
         assert!(tasks.iter().any(|t| t.arrival.seconds() > 1.0));
+    }
+
+    #[test]
+    fn sub_floor_distributions_rejected() {
+        // Every one of these would previously degenerate to an all-1-MFLOP
+        // workload via the 64-redraw clamp.
+        let bad = [
+            SizeDistribution::Uniform { lo: 0.0, hi: 0.5 },
+            SizeDistribution::Uniform { lo: 0.2, hi: 1.0 },
+            SizeDistribution::Constant { value: 0.5 },
+            SizeDistribution::Normal {
+                mean: -100.0,
+                variance: 1.0,
+            },
+        ];
+        for d in bad {
+            assert!(d.validate_as_task_sizes().is_err(), "{d:?} accepted");
+        }
+        let good = [
+            SizeDistribution::Uniform { lo: 0.0, hi: 1.5 },
+            SizeDistribution::Constant { value: 1.0 },
+            SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
+            SizeDistribution::Poisson { lambda: 10.0 },
+        ];
+        for d in good {
+            assert!(d.validate_as_task_sizes().is_ok(), "{d:?} rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid task-size distribution")]
+    fn generate_rejects_sub_floor_spec() {
+        let spec = WorkloadSpec::batch(10, SizeDistribution::Uniform { lo: 0.0, hi: 0.5 });
+        let _ = spec.generate(1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use dts_ga::{
 use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
 use dts_core::time_model::GaTimeModel;
+use dts_core::{remap_elite, ProcessorState, SeedStrategy};
 
 /// Configuration of the ZO scheduler.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,10 @@ pub struct ZoConfig {
     /// Modelled compute time per generation (same model as PN for a fair
     /// comparison).
     pub time_model: GaTimeModel,
+    /// Fresh random seeding per batch (Zomaya & Teh), or warm-started from
+    /// the previous batch's remapped elites — the same lifecycle knob PN
+    /// has, kept symmetric so warm-start comparisons are apples-to-apples.
+    pub seed_strategy: SeedStrategy,
     /// Seed for the scheduler's private RNG stream.
     pub seed: u64,
 }
@@ -58,6 +63,7 @@ impl Default for ZoConfig {
             batch_size: 200,
             min_generations: 10,
             time_model: GaTimeModel::default(),
+            seed_strategy: SeedStrategy::Fresh,
             seed: 0x20_2001,
         }
     }
@@ -141,6 +147,9 @@ pub struct Zomaya {
     unscheduled: VecDeque<Task>,
     queues: TaskQueues,
     rng: Prng,
+    /// Previous batch's final GA population (best first), retained under
+    /// [`SeedStrategy::CarryOver`] and remapped onto the next batch.
+    carried: Option<Vec<Chromosome>>,
 }
 
 impl Zomaya {
@@ -148,19 +157,24 @@ impl Zomaya {
     pub fn new(n_procs: usize, config: ZoConfig) -> Self {
         assert!(n_procs > 0, "need at least one processor");
         assert!(config.batch_size > 0, "batch size must be ≥ 1");
+        assert!(
+            config.seed_strategy != (SeedStrategy::CarryOver { elites: 0 }),
+            "carry-over elites must be ≥ 1"
+        );
         let rng = Prng::seed_from(config.seed);
         Self {
             config,
             unscheduled: VecDeque::new(),
             queues: TaskQueues::new(n_procs),
             rng,
+            carried: None,
         }
     }
 
-    /// Random initial population: each task to a uniformly random
-    /// processor (Zomaya & Teh seed their GA randomly).
-    fn random_population(&mut self, h: usize, m: usize) -> Vec<Chromosome> {
-        (0..self.config.ga.population_size)
+    /// Random individuals: each task to a uniformly random processor
+    /// (Zomaya & Teh seed their GA randomly).
+    fn random_individuals(&mut self, count: usize, h: usize, m: usize) -> Vec<Chromosome> {
+        (0..count)
             .map(|_| {
                 let mut queues = vec![Vec::new(); m];
                 for slot in 0..h as u32 {
@@ -170,6 +184,42 @@ impl Zomaya {
                 Chromosome::from_queues(&queues)
             })
             .collect()
+    }
+
+    /// The initial population for one batch: carried elites (remapped onto
+    /// the new batch via [`remap_elite`], makespan-ranked best first) under
+    /// `CarryOver`, topped up with random individuals.
+    fn initial_population(
+        &mut self,
+        batch: &[Task],
+        rates: &[f64],
+        existing: &[f64],
+    ) -> Vec<Chromosome> {
+        let pop_size = self.config.ga.population_size;
+        let mut initial: Vec<Chromosome> = match (self.config.seed_strategy, &self.carried) {
+            (SeedStrategy::CarryOver { elites }, Some(prev)) => {
+                // ZO's fitness is communication-blind, so the remap's
+                // earliest-finish fill also runs comm-free.
+                let states: Vec<ProcessorState> = rates
+                    .iter()
+                    .zip(existing)
+                    .map(|(&rate, &load)| ProcessorState {
+                        rate,
+                        existing_load_mflops: load,
+                        comm_cost: 0.0,
+                    })
+                    .collect();
+                prev.iter()
+                    .take(elites.min(pop_size))
+                    .map(|c| remap_elite(c, batch, &states))
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        let fill = pop_size - initial.len();
+        let m = rates.len();
+        initial.extend(self.random_individuals(fill, batch.len(), m));
+        initial
     }
 }
 
@@ -218,12 +268,19 @@ impl Scheduler for Zomaya {
         };
 
         let problem = ZoProblem::new(&batch, &rates, &existing);
-        let initial = self.random_population(h, m);
+        let initial = self.initial_population(&batch, &rates, &existing);
         let selection = RouletteWheel;
         let crossover = CycleCrossover;
         let mutation = SwapMutation;
         let engine = GaEngine::new(&selection, &crossover, &mutation, self.config.ga.clone());
-        let result = engine.run(&problem, initial, Some(budget), &mut self.rng);
+        let mut result = engine.run(&problem, initial, Some(budget), &mut self.rng);
+        if let SeedStrategy::CarryOver { elites } = self.config.seed_strategy {
+            // Only the top `elites` schedules are ever read back; move them
+            // out of the result instead of cloning the whole population.
+            let mut pop = std::mem::take(&mut result.final_population);
+            pop.truncate(elites);
+            self.carried = Some(pop);
+        }
 
         for (proc, queue) in result.best.to_queues().iter().enumerate() {
             let pid = ProcessorId(proc as u16);
@@ -404,5 +461,81 @@ mod tests {
         let s = Zomaya::new(1, quick());
         assert_eq!(s.name(), "ZO");
         assert_eq!(s.mode(), SchedulerMode::Batch);
+    }
+
+    fn varied(n: usize) -> Vec<Task> {
+        let sizes: Vec<f64> = (0..n).map(|i| 40.0 + (i as f64 * 53.0) % 300.0).collect();
+        tasks(&sizes)
+    }
+
+    fn run_zo_batches(mut cfg: ZoConfig, batches: usize) -> Vec<Vec<TaskId>> {
+        cfg.batch_size = 12;
+        let mut s = Zomaya::new(3, cfg);
+        s.enqueue(&varied(12 * batches));
+        let v = view(&[100.0, 150.0, 80.0]);
+        for _ in 0..batches {
+            s.plan(&v);
+        }
+        (0..3)
+            .map(|i| {
+                let mut ids = Vec::new();
+                while let Some(t) = s.next_task_for(ProcessorId(i)) {
+                    ids.push(t.id);
+                }
+                ids
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zo_warm_start_is_deterministic_and_complete() {
+        let cfg = || {
+            let mut c = quick();
+            c.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
+            c
+        };
+        let a = run_zo_batches(cfg(), 3);
+        let b = run_zo_batches(cfg(), 3);
+        assert_eq!(a, b, "ZO warm-start must be bit-stable");
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 36);
+    }
+
+    #[test]
+    fn zo_warm_start_diverges_from_fresh_after_first_batch() {
+        let fresh = run_zo_batches(quick(), 3);
+        let warm = run_zo_batches(
+            {
+                let mut c = quick();
+                c.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
+                c
+            },
+            3,
+        );
+        assert_eq!(fresh.iter().map(Vec::len).sum::<usize>(), 36);
+        assert_eq!(warm.iter().map(Vec::len).sum::<usize>(), 36);
+        assert_ne!(fresh, warm, "carried elites should alter later plans");
+    }
+
+    #[test]
+    fn zo_carried_population_stays_valid() {
+        let mut c = quick();
+        c.seed_strategy = SeedStrategy::CarryOver { elites: 4 };
+        c.batch_size = 10;
+        let mut s = Zomaya::new(3, c);
+        s.enqueue(&varied(30));
+        let v = view(&[100.0, 150.0, 80.0]);
+        while s.unscheduled_len() > 0 {
+            s.plan(&v);
+            let pop = s.carried.as_ref().expect("population retained");
+            assert!(pop.iter().all(|ch| ch.validate().is_ok()));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zo_zero_elites_rejected() {
+        let mut c = quick();
+        c.seed_strategy = SeedStrategy::CarryOver { elites: 0 };
+        let _ = Zomaya::new(2, c);
     }
 }

@@ -24,8 +24,21 @@ pub struct ProcBreakdown {
 
 impl ProcBreakdown {
     /// Idle seconds out of a run of length `makespan`.
+    ///
+    /// Busy time may exceed the makespan by float rounding only; anything
+    /// beyond the tolerance is accounting drift (work recorded that the
+    /// run's span cannot contain) and trips a debug assertion rather than
+    /// being silently clamped to zero idle.
     pub fn idle(&self, makespan: f64) -> f64 {
-        (makespan - self.processing - self.communicating).max(0.0)
+        let busy = self.processing + self.communicating;
+        debug_assert!(
+            busy <= makespan * (1.0 + 1e-9) + 1e-6,
+            "accounting drift: processing {} + communicating {} exceeds makespan {}",
+            self.processing,
+            self.communicating,
+            makespan
+        );
+        (makespan - busy).max(0.0)
     }
 
     /// This processor's own efficiency over a run of length `makespan`.
@@ -167,15 +180,39 @@ mod tests {
     }
 
     #[test]
-    fn breakdown_idle_saturates() {
+    fn breakdown_idle_saturates_within_tolerance() {
         let b = ProcBreakdown {
             processing: 8.0,
             communicating: 4.0,
             tasks_completed: 1,
             mflops_done: 1.0,
         };
-        assert_eq!(b.idle(10.0), 0.0, "rounding can push busy past makespan");
         assert_eq!(b.idle(20.0), 8.0);
+        // Rounding-level overshoot clamps to zero idle without tripping
+        // the drift assertion.
+        let eps = ProcBreakdown {
+            processing: 8.0,
+            communicating: 2.0 + 1e-9,
+            tasks_completed: 1,
+            mflops_done: 1.0,
+        };
+        assert_eq!(eps.idle(10.0), 0.0, "rounding can push busy past makespan");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "accounting drift")]
+    fn breakdown_idle_rejects_gross_drift() {
+        // Busy time materially exceeding the makespan means the simulator
+        // double-counted work; that must fail loudly in debug builds
+        // instead of masquerading as a fully utilised processor.
+        let b = ProcBreakdown {
+            processing: 8.0,
+            communicating: 4.0,
+            tasks_completed: 1,
+            mflops_done: 1.0,
+        };
+        let _ = b.idle(10.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! scheduling leaking into results) fails here before it can poison the
 //! paper's figures.
 
-use dts::core::{PnConfig, PnScheduler};
+use dts::core::{PnConfig, PnScheduler, SeedStrategy};
 use dts::ga::Evaluator;
 use dts::model::{ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec};
 use dts::schedulers::{
@@ -158,6 +158,92 @@ fn pn_parallel_evaluation_is_bit_identical() {
 #[test]
 fn zomaya_parallel_evaluation_is_bit_identical() {
     assert_parallel_matches_serial("ZO");
+}
+
+/// Warm-start lifecycle determinism: with population carry-over the GA
+/// schedulers keep state across `plan` calls (the previous batch's final
+/// population). That state is itself a pure function of the seeds, and the
+/// remap onto the next batch draws no randomness — so a warm-started run
+/// must be exactly as reproducible as a fresh one, and exactly as
+/// invariant to the evaluator's worker count. Small batches force several
+/// plan invocations so the carried population is actually exercised.
+fn warm_scheduler(name: &str, evaluator: Evaluator, strategy: SeedStrategy) -> Box<dyn Scheduler> {
+    match name {
+        "ZO" => {
+            let mut cfg = ZoConfig::default();
+            cfg.batch_size = 8;
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.seed_strategy = strategy;
+            Box::new(Zomaya::new(PROCS, cfg))
+        }
+        "PN" => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 8;
+            cfg.max_batch = 8;
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.seed_strategy = strategy;
+            Box::new(PnScheduler::new(PROCS, cfg))
+        }
+        other => panic!("unknown scheduler {other}"),
+    }
+}
+
+fn run_once_strategy(name: &str, evaluator: Evaluator, strategy: SeedStrategy) -> SimReport {
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let tasks = workload.generate(SEED);
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = SEED ^ 0xFACE;
+    Simulation::new(
+        cluster,
+        tasks,
+        warm_scheduler(name, evaluator, strategy),
+        config,
+    )
+    .run()
+    .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
+}
+
+#[test]
+fn warm_start_is_bit_stable_and_evaluator_invariant() {
+    for name in ["PN", "ZO"] {
+        for strategy in [SeedStrategy::Fresh, SeedStrategy::CarryOver { elites: 5 }] {
+            let serial = run_once_strategy(name, Evaluator::Serial, strategy);
+            let again = run_once_strategy(name, Evaluator::Serial, strategy);
+            assert_identical(&format!("{name}/{strategy:?}/rerun"), &serial, &again);
+            let par = run_once_strategy(name, Evaluator::ThreadPool { workers: 4 }, strategy);
+            assert_identical(&format!("{name}/{strategy:?}/workers=4"), &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn warm_start_actually_changes_the_run() {
+    // Guard against the carry-over knob being silently ignored: with
+    // several batches planned, fresh and warm runs must diverge.
+    for name in ["PN", "ZO"] {
+        let fresh = run_once_strategy(name, Evaluator::Serial, SeedStrategy::Fresh);
+        let warm = run_once_strategy(
+            name,
+            Evaluator::Serial,
+            SeedStrategy::CarryOver { elites: 5 },
+        );
+        assert!(fresh.plan_invocations >= 3, "{name}: want several batches");
+        assert_ne!(
+            fresh.makespan.to_bits(),
+            warm.makespan.to_bits(),
+            "{name}: carry-over had no observable effect"
+        );
+    }
 }
 
 /// Different seeds must actually change the outcome — guards against the
