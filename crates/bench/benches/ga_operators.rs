@@ -58,10 +58,12 @@ fn bench_ops(c: &mut Criterion) {
 
     c.bench_function("rebalance_once_H200_M50", |bench| {
         let fitness = problem.fitness(&a);
+        let mut base = Vec::new();
+        problem.completion_times(&a, &mut base);
         bench.iter_batched(
-            || a.clone(),
-            |mut c| {
-                let _ = rebalance_once(&problem, &mut c, fitness, 5, &mut rng);
+            || (a.clone(), base.clone()),
+            |(mut c, mut completions)| {
+                let _ = rebalance_once(&problem, &mut c, fitness, &mut completions, 5, &mut rng);
                 c
             },
             BatchSize::SmallInput,

@@ -22,17 +22,28 @@
 //! interesting number becomes `parallel_overhead` (how much slower than
 //! serial the pool is when it cannot help — the price of the channels).
 //!
+//! A third sweep measures the **incremental-evaluation pipeline** (fitness
+//! memo + swap-mutation delta-evaluation + completions-carrying §3.5
+//! rebalance) against a vendored full-walk baseline — the exact code the
+//! engine ran before those paths existed — at pop 500 / tasks 1000, for
+//! duplicate rates 0.0/0.5/0.9 (convergence pressure). Written to
+//! `BENCH_incremental_eval.json` (override with `DTS_INCR_OUT`). Setting
+//! `DTS_REQUIRE_MEMO_HITS=1` makes the run fail unless the end-to-end GA
+//! actually served evaluations from the memo — CI uses this to catch the
+//! cache silently dying.
+//!
 //! Knobs: `DTS_REPS` (default 41 timed repetitions per cell), `DTS_SEED`,
 //! `DTS_PROCS` (default 50), `DTS_FULL` (adds a larger sweep tier),
-//! `DTS_OUT` (output path).
+//! `DTS_OUT` (output path), `DTS_INCR_OUT`, `DTS_REQUIRE_MEMO_HITS`.
 
 use std::time::Instant;
 
 use dts_bench::{env_flag, env_or};
 use dts_core::fitness::{BatchProblem, ProcessorState};
+use dts_core::rebalance::rebalance_once;
 use dts_core::{schedule_batch, PnConfig};
 use dts_distributions::{Prng, Rng, SeedSequence};
-use dts_ga::{Chromosome, Evaluator};
+use dts_ga::{Chromosome, Evaluator, FitnessMemo, Gene, Problem, DEFAULT_MEMO_CAPACITY};
 use dts_model::{SimTime, Task, TaskId};
 
 /// One timed cell of the sweep.
@@ -272,5 +283,421 @@ fn main() {
     json.push_str("  ]\n}\n");
 
     std::fs::write(&out_path, &json).expect("write BENCH_parallel_eval.json");
+    eprintln!("wrote {out_path}   (checksum {checksum:.3})");
+
+    incremental_bench(reps, seed, m, cores);
+}
+
+// ======================= incremental evaluation ==========================
+
+/// The evaluation pipeline the engine ran before the incremental paths
+/// existed, vendored so the baseline cannot silently inherit the
+/// optimisations it is being measured against: every chromosome gets a
+/// full-walk evaluation, and every §3.5 rebalance attempt recomputes the
+/// completion times from scratch and scores a tentative swap with a full
+/// fitness walk (swap → evaluate → revert if not fitter).
+fn legacy_rebalance_once(
+    problem: &BatchProblem<'_>,
+    c: &mut Chromosome,
+    current_fitness: f64,
+    probes: u32,
+    rng: &mut Prng,
+) -> Option<f64> {
+    let n_procs = c.n_procs() as usize;
+    if n_procs < 2 {
+        return None;
+    }
+    let mut completions = Vec::with_capacity(n_procs);
+    problem.completion_times(c, &mut completions);
+    let heavy = completions
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite completion times"))
+        .map(|(i, _)| i)
+        .expect("at least one processor");
+    let mut heavy_positions: Vec<usize> = Vec::new();
+    let mut donor_positions: Vec<usize> = Vec::new();
+    let mut proc = 0usize;
+    for (i, g) in c.genes().iter().enumerate() {
+        match g {
+            Gene::Task(_) => {
+                if proc == heavy {
+                    heavy_positions.push(i);
+                } else {
+                    donor_positions.push(i);
+                }
+            }
+            Gene::Delim(_) => proc += 1,
+        }
+    }
+    if heavy_positions.is_empty() || donor_positions.is_empty() {
+        return None;
+    }
+    let donor_pos = donor_positions[rng.below(donor_positions.len())];
+    let donor_slot = match c.genes()[donor_pos] {
+        Gene::Task(s) => s,
+        Gene::Delim(_) => unreachable!(),
+    };
+    let donor_size = problem.batch()[donor_slot as usize].mflops;
+    let mut swap_pos = None;
+    for _ in 0..probes.max(1) {
+        let pos = heavy_positions[rng.below(heavy_positions.len())];
+        let slot = match c.genes()[pos] {
+            Gene::Task(s) => s,
+            Gene::Delim(_) => unreachable!(),
+        };
+        if problem.batch()[slot as usize].mflops > donor_size {
+            swap_pos = Some(pos);
+            break;
+        }
+    }
+    let heavy_pos = swap_pos?;
+    c.genes_swap(donor_pos, heavy_pos);
+    let new_fitness = problem.fitness(c);
+    if new_fitness > current_fitness {
+        Some(new_fitness)
+    } else {
+        c.genes_swap(donor_pos, heavy_pos);
+        None
+    }
+}
+
+/// A converged-generation offspring batch: `dup_rate` of the `pop` entries
+/// are copies drawn from a 10-genome elite pool (what elitism + roulette
+/// over a converged population actually produces), the rest unique. The
+/// elite pool is returned too so the memo can be pre-warmed with it — in
+/// the engine those genomes were inserted when the *previous* generation
+/// evaluated them.
+fn offspring_population(
+    pop: usize,
+    h: usize,
+    m: usize,
+    dup_rate: f64,
+    rng: &mut Prng,
+) -> (Vec<Chromosome>, Vec<Chromosome>) {
+    let elites = population(10, h, m, rng);
+    let offspring = (0..pop)
+        .map(|i| {
+            if (i as f64) < dup_rate * pop as f64 {
+                elites[i % elites.len()].clone()
+            } else {
+                population(1, h, m, rng).pop().expect("one individual")
+            }
+        })
+        .collect();
+    (elites, offspring)
+}
+
+struct IncrCell {
+    dup_rate: f64,
+    baseline_ns: u128,
+    incremental_ns: u128,
+    speedup: f64,
+    memo_hits: u64,
+}
+
+fn incremental_bench(reps: usize, seed: u64, m: usize, cores: usize) {
+    let out_path: String = env_or("DTS_INCR_OUT", "BENCH_incremental_eval.json".to_string());
+    let pop_size = 500usize;
+    let h = 1000usize;
+    let swaps_per_gen = 50usize;
+    let reps = (reps / 2).max(9);
+    let mut seq = SeedSequence::new(seed ^ 0x14C2);
+    let mut checksum = 0.0f64;
+
+    eprintln!(
+        "perf_eval/incremental: pop={pop_size}, tasks={h}, M={m}, {reps} reps/cell, \
+         {swaps_per_gen} swap mutations/generation"
+    );
+
+    let mut rng = Prng::seed_from(seq.next_seed());
+    let batch = tasks(h, &mut rng);
+    let procs = processors(m, &mut rng);
+    let config = PnConfig::default();
+    let problem = BatchProblem::new(&batch, &procs, &config);
+    let genes_len = h + m - 1;
+
+    // ---- per-generation evaluation: memo + delta vs full walks ----------
+    println!("\nincremental evaluation (pop={pop_size}, tasks={h}):");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>10}",
+        "dup", "baseline_us", "incremental_us", "speedup", "memo_hits"
+    );
+    let mut cells: Vec<IncrCell> = Vec::new();
+    for &dup_rate in &[0.0f64, 0.5, 0.9] {
+        let (elites, offspring) = offspring_population(pop_size, h, m, dup_rate, &mut rng);
+        let swaps: Vec<(usize, usize)> = (0..swaps_per_gen)
+            .map(|_| (rng.below(genes_len), rng.below(genes_len)))
+            .collect();
+
+        let mut base_samples = Vec::with_capacity(reps);
+        let mut incr_samples = Vec::with_capacity(reps);
+        let mut memo_hits = 0u64;
+        for _ in 0..reps {
+            // Baseline generation: full walk for every offspring and after
+            // every mutation.
+            let mut scratch = offspring[0].clone();
+            let mut comps = Vec::new();
+            let t0 = Instant::now();
+            for c in &offspring {
+                checksum += problem.evaluate_into(c, &mut comps).0;
+            }
+            for &(i, j) in &swaps {
+                scratch.genes_swap(i, j);
+                checksum += problem.evaluate_into(&scratch, &mut comps).0;
+            }
+            base_samples.push(t0.elapsed().as_nanos());
+
+            // Incremental generation, shaped like the engine's evaluate
+            // phase: memo probes in submission order, then full walks for
+            // the misses only, then delta-evaluated swap mutations (full
+            // walk only when the delta path declines). The memo is
+            // pre-warmed with the elite pool outside the timed window —
+            // the engine inserted those when the previous generation
+            // evaluated them.
+            let mut scratch = offspring[0].clone();
+            let mut scomps = Vec::new();
+            problem.evaluate_into(&scratch, &mut scomps);
+            let mut memo = FitnessMemo::new(DEFAULT_MEMO_CAPACITY);
+            memo.begin_epoch(problem.epoch_key());
+            let mut comps = Vec::new();
+            for e in &elites {
+                let (f, ms) = problem.evaluate_into(e, &mut comps);
+                memo.insert(e, f, ms, &comps);
+            }
+            let t0 = Instant::now();
+            let mut misses: Vec<&Chromosome> = Vec::new();
+            for c in &offspring {
+                match memo.lookup(c) {
+                    Some((f, _, _)) => checksum += f,
+                    None => misses.push(c),
+                }
+            }
+            for c in misses {
+                let (f, ms) = problem.evaluate_into(c, &mut comps);
+                memo.insert(c, f, ms, &comps);
+                checksum += f;
+            }
+            for &(i, j) in &swaps {
+                scratch.genes_swap(i, j);
+                match problem.evaluate_swap_delta(&scratch, i, j, &mut scomps) {
+                    Some((f, _)) => checksum += f,
+                    None => checksum += problem.evaluate_into(&scratch, &mut scomps).0,
+                }
+            }
+            incr_samples.push(t0.elapsed().as_nanos());
+            memo_hits = memo.hits();
+        }
+        let (base_median, _) = median_p95(&mut base_samples);
+        let (incr_median, _) = median_p95(&mut incr_samples);
+        let speedup = base_median as f64 / incr_median.max(1) as f64;
+        println!(
+            "{:>8.1} {:>14.1} {:>14.1} {:>7.2}x {:>10}",
+            dup_rate,
+            base_median as f64 / 1e3,
+            incr_median as f64 / 1e3,
+            speedup,
+            memo_hits
+        );
+        cells.push(IncrCell {
+            dup_rate,
+            baseline_ns: base_median,
+            incremental_ns: incr_median,
+            speedup,
+            memo_hits,
+        });
+    }
+
+    // ---- §3.5 rebalance: maintained completions vs fresh-walk legacy -----
+    let attempts = 200u32;
+    let start = population(1, h, m, &mut rng).pop().expect("one");
+    let probes = config.rebalance_probes;
+    let mut legacy_samples = Vec::with_capacity(reps);
+    let mut incr_samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut c = start.clone();
+        let mut fitness = problem.fitness(&c);
+        let mut r = Prng::seed_from(0xBA1A_4CE);
+        let t0 = Instant::now();
+        for _ in 0..attempts {
+            if let Some(f) = legacy_rebalance_once(&problem, &mut c, fitness, probes, &mut r) {
+                fitness = f;
+            }
+        }
+        legacy_samples.push(t0.elapsed().as_nanos());
+        checksum += fitness;
+
+        let mut c = start.clone();
+        let mut fitness = problem.fitness(&c);
+        let mut completions = Vec::new();
+        problem.completion_times(&c, &mut completions);
+        let mut r = Prng::seed_from(0xBA1A_4CE);
+        let t0 = Instant::now();
+        for _ in 0..attempts {
+            if let Some(f) =
+                rebalance_once(&problem, &mut c, fitness, &mut completions, probes, &mut r)
+            {
+                fitness = f;
+            }
+        }
+        incr_samples.push(t0.elapsed().as_nanos());
+        checksum += fitness;
+    }
+    let (legacy_median, _) = median_p95(&mut legacy_samples);
+    let (rebal_median, _) = median_p95(&mut incr_samples);
+    let rebal_speedup = legacy_median as f64 / rebal_median.max(1) as f64;
+    println!(
+        "rebalance ({attempts} attempts): legacy={:.1}us incremental={:.1}us speedup={rebal_speedup:.2}x",
+        legacy_median as f64 / 1e3,
+        rebal_median as f64 / 1e3
+    );
+
+    // ---- end-to-end GA with the memo on vs off ---------------------------
+    // Two shapes: the thread-pool break-even shape from the parallel sweep,
+    // and a convergence-heavy one (the paper's micro-population of 20 run
+    // to 1000 generations on a small batch) where most late-generation
+    // offspring are copies of the incumbent elite and the memo should carry
+    // a large share of the evaluations.
+    struct E2eCell {
+        label: &'static str,
+        capacity: usize,
+        population: usize,
+        tasks: usize,
+        generations: u32,
+        median_ns: u128,
+        hit_rate: f64,
+        speedup: f64,
+    }
+    let e2e_reps = (reps / 2).max(5);
+    let e2e_batch = tasks(500, &mut rng);
+    let small_batch = tasks(50, &mut rng);
+    let e2e_procs = processors(m, &mut rng);
+    let mut e2e: Vec<E2eCell> = Vec::new();
+    for &(label, pop, gens, batch) in &[
+        ("breakeven", 100usize, 60u32, &e2e_batch),
+        ("converged", 20, 1000, &small_batch),
+    ] {
+        let mut off_median = 0u128;
+        for &capacity in &[0usize, DEFAULT_MEMO_CAPACITY] {
+            let mut cfg = PnConfig::default();
+            cfg.ga.population_size = pop;
+            cfg.ga.max_generations = gens;
+            cfg.ga.memo_capacity = capacity;
+            let mut samples = Vec::with_capacity(e2e_reps);
+            let mut hit_rate = 0.0f64;
+            for _ in 0..e2e_reps {
+                let t0 = Instant::now();
+                let out = schedule_batch(batch, &e2e_procs, &cfg, seed ^ 0x1CE);
+                samples.push(t0.elapsed().as_nanos());
+                checksum += out.best_makespan;
+                let total = out.ga.memo_hits + out.ga.memo_misses;
+                hit_rate = out.ga.memo_hits as f64 / (total.max(1)) as f64;
+                if capacity > 0 && label == "converged" && env_flag("DTS_REQUIRE_MEMO_HITS") {
+                    assert!(
+                        hit_rate > 0.0,
+                        "DTS_REQUIRE_MEMO_HITS: convergence-heavy GA run served no \
+                         evaluations from the memo ({} hits / {} lookups)",
+                        out.ga.memo_hits,
+                        total
+                    );
+                }
+            }
+            let (median, _) = median_p95(&mut samples);
+            if capacity == 0 {
+                off_median = median;
+            }
+            let speedup = off_median as f64 / median.max(1) as f64;
+            println!(
+                "end-to-end {label} (pop={pop}, tasks={}, gens={gens}) memo_capacity={capacity}: \
+                 median={:.1}us hit_rate={:.3} speedup={:.2}x",
+                batch.len(),
+                median as f64 / 1e3,
+                hit_rate,
+                speedup
+            );
+            e2e.push(E2eCell {
+                label,
+                capacity,
+                population: pop,
+                tasks: batch.len(),
+                generations: gens,
+                median_ns: median,
+                hit_rate,
+                speedup,
+            });
+        }
+    }
+
+    let headline = cells
+        .iter()
+        .find(|c| (c.dup_rate - 0.9).abs() < 1e-9)
+        .expect("0.9 cell");
+    if headline.speedup < 5.0 {
+        eprintln!(
+            "WARNING: headline incremental speedup {:.2}x below the 5x target",
+            headline.speedup
+        );
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"incremental_eval\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{ \"reps\": {reps}, \"seed\": {seed}, \"procs\": {m}, \
+         \"population\": {pop_size}, \"tasks\": {h}, \"swap_mutations\": {swaps_per_gen} }},\n"
+    ));
+    json.push_str(
+        "  \"note\": \"per_generation cells time one generation of evaluation work (offspring \
+         batch + swap mutations) with the incremental pipeline (fitness memo + delta-evaluation) \
+         against a vendored full-walk baseline; dup_rate models convergence (fraction of \
+         offspring that are copies of elites). rebalance compares the completions-carrying \
+         rebalance against the legacy fresh-walk form. All paths are bit-identical; only the \
+         wall-clock differs\",\n",
+    );
+    json.push_str("  \"per_generation\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"dup_rate\": {:.1}, \"baseline_median_ns\": {}, \
+             \"incremental_median_ns\": {}, \"speedup\": {:.4}, \"memo_hits\": {} }}{}\n",
+            c.dup_rate,
+            c.baseline_ns,
+            c.incremental_ns,
+            c.speedup,
+            c.memo_hits,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"headline_speedup_dup_0_9\": {:.4},\n",
+        headline.speedup
+    ));
+    json.push_str(&format!(
+        "  \"rebalance\": {{ \"attempts\": {attempts}, \"legacy_median_ns\": {legacy_median}, \
+         \"incremental_median_ns\": {rebal_median}, \"speedup\": {rebal_speedup:.4} }},\n"
+    ));
+    json.push_str("  \"end_to_end_ga\": [\n");
+    for (i, c) in e2e.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"shape\": \"{}\", \"memo_capacity\": {}, \"population\": {}, \
+             \"tasks\": {}, \"generations\": {}, \"median_ns\": {}, \"memo_hit_rate\": {:.4}, \
+             \"speedup_vs_memo_off\": {:.4} }}{}\n",
+            c.label,
+            c.capacity,
+            c.population,
+            c.tasks,
+            c.generations,
+            c.median_ns,
+            c.hit_rate,
+            c.speedup,
+            if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_incremental_eval.json");
     eprintln!("wrote {out_path}   (checksum {checksum:.3})");
 }

@@ -14,11 +14,35 @@
 //! ```
 //!
 //! where `Γc(y,j)` is the smoothed communication-cost estimate for
-//! scheduling task *y* on processor *j*. The fitness is `Fᵢ = 1/Eᵢ`,
-//! clamped into `(0, 1]` (the paper states `Fᵢ = [0, 1]`); a larger value
-//! indicates a fitter schedule.
+//! scheduling task *y* on processor *j*. A larger fitness indicates a
+//! fitter schedule.
+//!
+//! **Deviation from the paper:** the paper computes `Fᵢ = 1/Eᵢ` clamped
+//! into `(0, 1]`, which maps *every* schedule with `E ≤ 1` to exactly 1.0
+//! — on small batches most near-optimal schedules tie and selection /
+//! elitism pressure vanishes. This implementation uses `Fᵢ = 1/(1 + Eᵢ)`:
+//! the same range `(0, 1]`, the same perfect score `F(0) = 1`, the same
+//! ordering for `E > 1`, but strictly monotone everywhere so an `E = 0.2`
+//! schedule outranks an `E = 0.9` one. The engine additionally tie-breaks
+//! elites by makespan.
+//!
+//! # Incremental evaluation
+//!
+//! [`BatchProblem`] keeps flat per-task and per-processor arrays (task
+//! sizes, rates, effective comm costs, δⱼ) so the hot path walks cache-
+//! friendly `f64` slices instead of chasing structs, and implements the
+//! engine's incremental hooks: [`dts_ga::Problem::evaluate_into`] exports
+//! the per-processor completion times, and
+//! [`dts_ga::Problem::evaluate_swap_delta`] re-sums only the (at most two)
+//! queues touched by a task–task transposition. Affected queues are always
+//! re-accumulated **in gene order** — float addition is not associative,
+//! so adding/subtracting single terms would drift off the full walk; the
+//! re-sum keeps every path bit-identical to [`fill_completions`] (the
+//! bitwise oracle, exercised by the proptests).
+//!
+//! [`fill_completions`]: BatchProblem::completion_times
 
-use dts_ga::{Chromosome, Problem};
+use dts_ga::{Chromosome, Gene, Problem};
 use dts_model::Task;
 
 use crate::config::PnConfig;
@@ -71,6 +95,17 @@ pub struct BatchProblem<'a> {
     rebalances: u32,
     /// Probes per rebalance attempt (paper: 5).
     rebalance_probes: u32,
+    /// Task sizes by chromosome slot (SoA copy of `batch[k].mflops`).
+    mflops: Vec<f64>,
+    /// Per-processor rates `Pⱼ` (SoA copy of `procs[j].rate`).
+    rate: Vec<f64>,
+    /// Per-processor *effective* comm cost: `Γcⱼ` when communication
+    /// estimates are in use, `0.0` otherwise. Pre-zeroing keeps the inner
+    /// loop branch-free; adding `+0.0` to a non-negative cost is
+    /// bit-identical to skipping the add.
+    comm: Vec<f64>,
+    /// Per-processor `δⱼ`, computed once at construction.
+    delta: Vec<f64>,
 }
 
 /// Stack buffer size for per-processor completion times: clusters up to
@@ -83,17 +118,52 @@ impl<'a> BatchProblem<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `procs` is empty or any rate is non-positive.
+    /// Panics if `procs` is empty, any rate is non-positive or non-finite,
+    /// any existing load or comm cost is negative/NaN/infinite, or any
+    /// task size is non-positive or non-finite. [`Task::new`] already
+    /// rejects bad sizes, but `Task` fields are public, so this is the
+    /// diagnosable last line of defence — a NaN that slipped through here
+    /// used to surface only as an opaque `partial_cmp` panic deep inside
+    /// the §3.5 rebalance loop, mid-GA.
     pub fn new(batch: &'a [Task], procs: &'a [ProcessorState], config: &PnConfig) -> Self {
         assert!(!procs.is_empty(), "no processors to schedule onto");
-        assert!(
-            procs.iter().all(|p| p.rate > 0.0 && p.rate.is_finite()),
-            "processor rates must be positive"
-        );
+        for (j, p) in procs.iter().enumerate() {
+            assert!(
+                p.rate > 0.0 && p.rate.is_finite(),
+                "processor {j} has invalid rate estimate {}",
+                p.rate
+            );
+            assert!(
+                p.existing_load_mflops.is_finite() && p.existing_load_mflops >= 0.0,
+                "processor {j} has invalid existing load {} MFLOPs",
+                p.existing_load_mflops
+            );
+            assert!(
+                p.comm_cost.is_finite() && p.comm_cost >= 0.0,
+                "processor {j} has invalid comm cost {}",
+                p.comm_cost
+            );
+        }
+        for t in batch {
+            assert!(
+                t.mflops.is_finite() && t.mflops > 0.0,
+                "task {} has invalid size {} MFLOPs",
+                t.id,
+                t.mflops
+            );
+        }
         let total_mflops: f64 = batch.iter().map(|t| t.mflops).sum();
         let total_rate: f64 = procs.iter().map(|p| p.rate).sum();
         let sum_delta: f64 = procs.iter().map(ProcessorState::delta).sum();
         let psi = total_mflops / total_rate + sum_delta;
+        let mflops: Vec<f64> = batch.iter().map(|t| t.mflops).collect();
+        let rate: Vec<f64> = procs.iter().map(|p| p.rate).collect();
+        let comm: Vec<f64> = if config.use_comm_estimates {
+            procs.iter().map(|p| p.comm_cost).collect()
+        } else {
+            vec![0.0; procs.len()]
+        };
+        let delta: Vec<f64> = procs.iter().map(ProcessorState::delta).collect();
         Self {
             batch,
             procs,
@@ -101,6 +171,10 @@ impl<'a> BatchProblem<'a> {
             use_comm: config.use_comm_estimates,
             rebalances: config.rebalances_per_generation,
             rebalance_probes: config.rebalance_probes,
+            mflops,
+            rate,
+            comm,
+            delta,
         }
     }
 
@@ -127,22 +201,116 @@ impl<'a> BatchProblem<'a> {
         self.fill_completions(c, out);
     }
 
-    /// One pass over the chromosome: `out[j] = Cⱼ`. This is the hot path;
-    /// it allocates nothing and draws no randomness, which is what lets
-    /// the [`dts_ga::Evaluator`] thread pool run it concurrently.
+    /// One pass over the chromosome: `out[j] = Cⱼ`. This is the hot path
+    /// and the bitwise oracle every incremental path must match; it
+    /// allocates nothing and draws no randomness, which is what lets the
+    /// [`dts_ga::Evaluator`] thread pool run it concurrently. Each queue
+    /// accumulates in a register (per-processor add order is identical to
+    /// accumulating through `out`, so the results are bit-identical to
+    /// the previous memory-accumulating form) over the flat SoA arrays.
     fn fill_completions(&self, c: &Chromosome, out: &mut [f64]) {
-        for (slot, p) in out.iter_mut().zip(self.procs) {
-            *slot = p.delta();
-        }
-        for (proc, slot) in c.assignments() {
-            let p = &self.procs[proc];
-            let t = &self.batch[slot as usize];
-            let mut cost = t.mflops / p.rate;
-            if self.use_comm {
-                cost += p.comm_cost;
+        debug_assert_eq!(out.len(), self.rate.len());
+        let mut q = 0usize;
+        let mut acc = self.delta[0];
+        for &g in c.genes() {
+            match g {
+                Gene::Task(t) => {
+                    acc += self.mflops[t as usize] / self.rate[q] + self.comm[q];
+                }
+                Gene::Delim(_) => {
+                    out[q] = acc;
+                    q += 1;
+                    acc = self.delta[q];
+                }
             }
-            out[proc] += cost;
         }
+        out[q] = acc;
+    }
+
+    /// `Cⱼ` for the queue `q` whose task genes start at `start`:
+    /// re-accumulates `δ_q + Σ (t/P_q + Γc_q)` in gene order until the
+    /// next delimiter — the same add sequence `fill_completions` performs
+    /// for that queue.
+    fn queue_cost(&self, genes: &[Gene], q: usize, start: usize) -> f64 {
+        let mut acc = self.delta[q];
+        for &g in &genes[start..] {
+            match g {
+                Gene::Task(t) => {
+                    acc += self.mflops[t as usize] / self.rate[q] + self.comm[q];
+                }
+                Gene::Delim(_) => break,
+            }
+        }
+        acc
+    }
+
+    /// `Cⱼ` for queue `q` re-summed from its task-gene `positions` (gene
+    /// order), with the task at `replace_pos` substituted by
+    /// `replace_slot` — exactly the sum `fill_completions` would produce
+    /// for that queue after the swap, without mutating the chromosome.
+    /// Used by the §3.5 rebalance to cost candidate swaps.
+    pub(crate) fn queue_cost_substituted(
+        &self,
+        c: &Chromosome,
+        q: usize,
+        positions: &[usize],
+        replace_pos: usize,
+        replace_slot: u32,
+    ) -> f64 {
+        let genes = c.genes();
+        let mut acc = self.delta[q];
+        for &pos in positions {
+            let slot = if pos == replace_pos {
+                replace_slot
+            } else {
+                match genes[pos] {
+                    Gene::Task(s) => s,
+                    Gene::Delim(_) => unreachable!("queue positions contain only tasks"),
+                }
+            };
+            acc += self.mflops[slot as usize] / self.rate[q] + self.comm[q];
+        }
+        acc
+    }
+
+    /// Scores a completion-time vector as `(fitness, makespan)`. Every
+    /// evaluation path — full walk, swap delta, rebalance substitution —
+    /// funnels through the same j-ordered loop, which is what keeps their
+    /// results bit-identical.
+    pub(crate) fn score_completions(&self, completions: &[f64]) -> (f64, f64) {
+        let mut sum_sq = 0.0f64;
+        let mut max = 0.0f64;
+        for &cj in completions {
+            let d = self.psi - cj;
+            sum_sq += d * d;
+            max = max.max(cj);
+        }
+        (Self::fitness_of_error(sum_sq.sqrt()), max)
+    }
+
+    /// Fitness of the schedule whose completion times equal `completions`
+    /// with entries `a.0` / `b.0` replaced by `a.1` / `b.1` — the
+    /// j-ordered loop matches [`BatchProblem::score_completions`]
+    /// bit-for-bit without materialising the substituted vector.
+    pub(crate) fn fitness_with_substitution(
+        &self,
+        completions: &[f64],
+        a: (usize, f64),
+        b: (usize, f64),
+    ) -> f64 {
+        let mut sum_sq = 0.0f64;
+        for (j, &cj) in completions.iter().enumerate() {
+            let v = if j == a.0 {
+                a.1
+            } else if j == b.0 {
+                b.1
+            } else {
+                cj
+            };
+            let d = self.psi - v;
+            sum_sq += d * d;
+        }
+        Self::fitness_of_error(sum_sq.sqrt())
     }
 
     /// Computes the completion times into a stack buffer (clusters of up
@@ -161,14 +329,14 @@ impl<'a> BatchProblem<'a> {
         }
     }
 
-    /// Fitness from a relative error: `F = 1/E` clamped into `(0, 1]`.
+    /// Fitness from a relative error: `F = 1/(1 + E)` — range `(0, 1]`,
+    /// `F(0) = 1` exactly, strictly monotone decreasing. See the module
+    /// docs for why this deviates from the paper's clamped `1/E` (which
+    /// tied every schedule with `E ≤ 1` at exactly 1.0, killing selection
+    /// pressure near the optimum).
     #[inline]
     fn fitness_of_error(e: f64) -> f64 {
-        if e <= 1.0 {
-            1.0
-        } else {
-            1.0 / e
-        }
+        1.0 / (1.0 + e)
     }
 
     /// The relative error `E` of a schedule (§3.2). Zero means every
@@ -188,7 +356,7 @@ impl<'a> BatchProblem<'a> {
 }
 
 impl Problem for BatchProblem<'_> {
-    /// `F = 1/E`, clamped into `(0, 1]`; `E = 0` maps to the perfect score 1.
+    /// `F = 1/(1 + E)`; `E = 0` maps to the perfect score 1.
     fn fitness(&self, c: &Chromosome) -> f64 {
         Self::fitness_of_error(self.relative_error(c))
     }
@@ -206,32 +374,124 @@ impl Problem for BatchProblem<'_> {
     /// chromosome twice. Bit-identical to the two-call form because the
     /// completions are computed by the same pass either way.
     fn evaluate(&self, c: &Chromosome) -> (f64, f64) {
-        self.with_completions(c, |completions| {
-            let mut sum_sq = 0.0f64;
-            let mut max = 0.0f64;
-            for &cj in completions {
-                let d = self.psi - cj;
-                sum_sq += d * d;
-                max = max.max(cj);
-            }
-            (Self::fitness_of_error(sum_sq.sqrt()), max)
-        })
+        self.with_completions(c, |completions| self.score_completions(completions))
     }
 
-    /// The §3.5 rebalancing heuristic, applied `rebalances` times.
-    fn improve(&self, c: &mut Chromosome, current_fitness: f64, rng: &mut Prng) -> Option<f64> {
+    /// The full walk, exporting the completion times for the engine's
+    /// incremental machinery (delta-evaluation, memo, §3.5 rebalance).
+    fn evaluate_into(&self, c: &Chromosome, completions: &mut Vec<f64>) -> (f64, f64) {
+        self.completion_times(c, completions);
+        self.score_completions(completions)
+    }
+
+    /// Task–task transpositions touch at most two queues; only those are
+    /// re-summed (in gene order, off the SoA arrays) and the score is
+    /// recomputed over the updated completions. Declines delimiter moves —
+    /// those shift queue boundaries for every queue between the two
+    /// positions, so the full walk is the honest cost.
+    fn evaluate_swap_delta(
+        &self,
+        c: &Chromosome,
+        i: usize,
+        j: usize,
+        completions: &mut [f64],
+    ) -> Option<(f64, f64)> {
+        if completions.len() != self.rate.len() || i == j {
+            return None;
+        }
+        let genes = c.genes();
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if !matches!(genes[lo], Gene::Task(_)) || !matches!(genes[hi], Gene::Task(_)) {
+            return None;
+        }
+        // Locate the queues holding `lo` and `hi`: one delimiter-counting
+        // pass (no divisions) that never looks past `hi`. Queue index is
+        // the number of delimiters crossed — delimiter *labels* carry no
+        // positional meaning, so they cannot be used as a shortcut.
+        let mut q = 0usize;
+        let mut start = 0usize;
+        let (mut q_lo, mut start_lo) = (0usize, 0usize);
+        for (pos, g) in genes[..hi].iter().enumerate() {
+            if pos == lo {
+                q_lo = q;
+                start_lo = start;
+            }
+            if matches!(g, Gene::Delim(_)) {
+                q += 1;
+                start = pos + 1;
+            }
+        }
+        let (q_hi, start_hi) = (q, start);
+        // Re-accumulate the affected queue(s) in gene order. A same-queue
+        // swap still needs the re-sum: the two tasks exchanged positions,
+        // so the queue's addition order — and therefore its rounded sum —
+        // can change.
+        completions[q_lo] = self.queue_cost(genes, q_lo, start_lo);
+        if q_hi != q_lo {
+            completions[q_hi] = self.queue_cost(genes, q_hi, start_hi);
+        }
+        Some(self.score_completions(completions))
+    }
+
+    /// Digest of everything evaluation depends on besides the chromosome:
+    /// ψ, the comm flag, every task size, and every processor's
+    /// rate/δ/comm estimate. Equal keys ⇒ identical evaluation context,
+    /// which is the fitness memo's invalidation rule.
+    fn epoch_key(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut x = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut h = mix(0x5049_5053_3230_3035, self.mflops.len() as u64);
+        h = mix(h, self.rate.len() as u64);
+        h = mix(h, self.psi.to_bits());
+        h = mix(h, self.use_comm as u64);
+        for &m in &self.mflops {
+            h = mix(h, m.to_bits());
+        }
+        for j in 0..self.rate.len() {
+            h = mix(h, self.rate[j].to_bits());
+            h = mix(h, self.delta[j].to_bits());
+            h = mix(h, self.comm[j].to_bits());
+        }
+        h
+    }
+
+    /// The §3.5 rebalancing heuristic, applied `rebalances` times. The
+    /// maintained completion times flow through every attempt, so neither
+    /// the heavy-processor scan nor the final makespan re-walks the
+    /// chromosome.
+    fn improve(
+        &self,
+        c: &mut Chromosome,
+        current_fitness: f64,
+        completions: &mut Vec<f64>,
+        rng: &mut Prng,
+    ) -> Option<(f64, f64)> {
         if self.rebalances == 0 {
             return None;
+        }
+        // Individuals evaluated through `evaluate_into` arrive with their
+        // completions populated; recompute defensively otherwise.
+        if completions.len() != self.procs.len() {
+            self.completion_times(c, completions);
         }
         let mut fitness = current_fitness;
         let mut improved = false;
         for _ in 0..self.rebalances {
-            if let Some(f) = rebalance_once(self, c, fitness, self.rebalance_probes, rng) {
+            if let Some(f) =
+                rebalance_once(self, c, fitness, completions, self.rebalance_probes, rng)
+            {
                 fitness = f;
                 improved = true;
             }
         }
-        improved.then_some(fitness)
+        improved.then(|| {
+            let makespan = completions.iter().copied().fold(0.0, f64::max);
+            (fitness, makespan)
+        })
     }
 }
 
@@ -389,6 +649,94 @@ mod tests {
         // mutability) must fail to compile here first.
         fn assert_sync<T: Sync>() {}
         assert_sync::<BatchProblem<'static>>();
+    }
+
+    #[test]
+    fn near_optimal_schedules_no_longer_tie() {
+        // Two identical processors, two tasks 10+d / 10−d on separate
+        // queues: ψ = 10, E = d·√2. With the paper's clamped 1/E both the
+        // d = 0.2/√2 and d = 0.9/√2 schedules scored exactly 1.0 and
+        // selection could not tell them apart; 1/(1+E) ranks them.
+        let score = |e: f64| {
+            let d = e / 2.0f64.sqrt();
+            let batch = [task(0, 10.0 + d), task(1, 10.0 - d)];
+            let procs = [proc(1.0, 0.0, 0.0), proc(1.0, 0.0, 0.0)];
+            let p = BatchProblem::new(&batch, &procs, &config());
+            let c = Chromosome::from_queues(&[vec![0], vec![1]]);
+            p.fitness(&c)
+        };
+        let (near, far) = (score(0.2), score(0.9));
+        assert!(
+            near < 1.0 && far < 1.0,
+            "imperfect schedules must not hit 1.0"
+        );
+        assert!(
+            near > far,
+            "E=0.2 ({near}) must outrank E=0.9 ({far}) — the old clamp tied them"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size")]
+    fn nan_task_size_is_rejected_up_front() {
+        // Task fields are public, so a NaN can bypass Task::new; the
+        // problem constructor must turn that into a diagnosable panic
+        // instead of a partial_cmp crash deep inside the rebalance loop.
+        let batch = [Task {
+            id: TaskId(0),
+            mflops: f64::NAN,
+            arrival: SimTime::ZERO,
+        }];
+        let procs = [proc(100.0, 0.0, 0.0)];
+        let _ = BatchProblem::new(&batch, &procs, &config());
+    }
+
+    #[test]
+    fn swap_delta_matches_full_evaluation_bitwise() {
+        use dts_distributions::{Prng, Rng};
+        let batch: Vec<Task> = (0..40).map(|i| task(i, 10.0 + 13.7 * i as f64)).collect();
+        let procs = [
+            proc(100.0, 250.0, 0.5),
+            proc(200.0, 0.0, 0.25),
+            proc(55.0, 10.0, 1.5),
+            proc(150.0, 40.0, 0.0),
+        ];
+        let p = BatchProblem::new(&batch, &procs, &config());
+        let mut c = Chromosome::from_queues(&[
+            (0..10).collect::<Vec<_>>(),
+            (10..25).collect(),
+            (25..33).collect(),
+            (33..40).collect(),
+        ]);
+        let mut completions = Vec::new();
+        p.evaluate_into(&c, &mut completions);
+        let mut rng = Prng::seed_from(0xD17A);
+        let mut deltas_taken = 0u32;
+        for _ in 0..500 {
+            let len = c.genes().len();
+            let (i, j) = (rng.below(len), rng.below(len));
+            c.genes_swap(i, j);
+            let fresh = {
+                let mut fresh_comps = Vec::new();
+                let (f, ms) = p.evaluate_into(&c, &mut fresh_comps);
+                (f, ms, fresh_comps)
+            };
+            match p.evaluate_swap_delta(&c, i, j, &mut completions) {
+                Some((f, ms)) => {
+                    deltas_taken += 1;
+                    assert_eq!(f.to_bits(), fresh.0.to_bits(), "fitness drifted");
+                    assert_eq!(ms.to_bits(), fresh.1.to_bits(), "makespan drifted");
+                    for (a, b) in completions.iter().zip(&fresh.2) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "completions drifted");
+                    }
+                }
+                None => completions = fresh.2,
+            }
+        }
+        assert!(
+            deltas_taken > 100,
+            "task–task swaps should dominate ({deltas_taken}/500 deltas)"
+        );
     }
 
     #[test]

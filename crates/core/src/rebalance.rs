@@ -11,14 +11,27 @@
 //! the bottleneck processor, shrinking the heaviest queue's load while
 //! keeping queue lengths intact — a directed move no blind mutation would
 //! find quickly.
+//!
+//! The caller supplies the schedule's per-processor completion times and
+//! this function keeps them current: the heavy-processor scan reads them
+//! directly, a candidate swap is costed by re-summing only the two affected
+//! queues (`BatchProblem::queue_cost_substituted`), and on commit the two
+//! entries are updated in place. No call path walks the full chromosome,
+//! yet every number matches the full walk bit-for-bit because affected
+//! queues are always re-accumulated in gene order.
 
 use dts_distributions::{Prng, Rng};
-use dts_ga::{Chromosome, Gene, Problem};
+use dts_ga::{Chromosome, Gene};
 
 use crate::fitness::BatchProblem;
 
 /// One rebalance attempt. Returns the new fitness if a fitter schedule was
 /// found and committed, `None` otherwise (the chromosome is unchanged).
+///
+/// `completions` must hold the schedule's current per-processor completion
+/// times (as produced by `evaluate_into` / `completion_times`); on a commit
+/// the two affected entries are updated so the vector stays current across
+/// repeated attempts.
 ///
 /// `probes` bounds the random searches for a larger task on the heaviest
 /// processor (the paper uses 5).
@@ -26,6 +39,7 @@ pub fn rebalance_once(
     problem: &BatchProblem<'_>,
     c: &mut Chromosome,
     current_fitness: f64,
+    completions: &mut [f64],
     probes: u32,
     rng: &mut Prng,
 ) -> Option<f64> {
@@ -33,23 +47,26 @@ pub fn rebalance_once(
     if n_procs < 2 {
         return None;
     }
+    debug_assert_eq!(completions.len(), n_procs);
 
     // ---- locate the most heavily loaded processor --------------------
     // Load = completion time (existing load + batch work + comm), matching
-    // what the fitness function penalises.
-    let mut completions = Vec::with_capacity(n_procs);
-    problem.completion_times(c, &mut completions);
+    // what the fitness function penalises. `total_cmp` keeps the scan
+    // panic-free even if a NaN slips past the constructor's validation;
+    // for the finite non-negative times it orders like `partial_cmp`.
     let heavy = completions
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite completion times"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("at least one processor");
 
     // ---- index gene positions per queue ------------------------------
-    // One linear pass; positions of task genes grouped by processor.
+    // One linear pass; positions of task genes grouped by processor. Donor
+    // positions remember their queue so the swap can be costed without
+    // another scan.
     let mut heavy_positions: Vec<usize> = Vec::new();
-    let mut donor_positions: Vec<usize> = Vec::new();
+    let mut donor_positions: Vec<(usize, usize)> = Vec::new();
     {
         let mut proc = 0usize;
         for (i, g) in c.genes().iter().enumerate() {
@@ -58,7 +75,7 @@ pub fn rebalance_once(
                     if proc == heavy {
                         heavy_positions.push(i);
                     } else {
-                        donor_positions.push(i);
+                        donor_positions.push((i, proc));
                     }
                 }
                 Gene::Delim(_) => proc += 1,
@@ -70,7 +87,7 @@ pub fn rebalance_once(
     }
 
     // ---- pick the random donor task ----------------------------------
-    let donor_pos = donor_positions[rng.below(donor_positions.len())];
+    let (donor_pos, donor_proc) = donor_positions[rng.below(donor_positions.len())];
     let donor_slot = match c.genes()[donor_pos] {
         Gene::Task(s) => s,
         Gene::Delim(_) => unreachable!("donor positions contain only tasks"),
@@ -78,7 +95,7 @@ pub fn rebalance_once(
     let donor_size = problem.batch()[donor_slot as usize].mflops;
 
     // ---- probe for a larger task on the heavy processor --------------
-    let mut swap_pos = None;
+    let mut swap = None;
     for _ in 0..probes.max(1) {
         let pos = heavy_positions[rng.below(heavy_positions.len())];
         let slot = match c.genes()[pos] {
@@ -86,19 +103,35 @@ pub fn rebalance_once(
             Gene::Delim(_) => unreachable!("heavy positions contain only tasks"),
         };
         if problem.batch()[slot as usize].mflops > donor_size {
-            swap_pos = Some(pos);
+            swap = Some((pos, slot));
             break;
         }
     }
-    let heavy_pos = swap_pos?;
+    let (heavy_pos, heavy_slot) = swap?;
 
-    // ---- tentative swap, keep only if fitter --------------------------
-    c.genes_swap(donor_pos, heavy_pos);
-    let new_fitness = problem.fitness(c);
+    // ---- cost the swap on the two affected queues only ----------------
+    // Re-sum each queue in gene order with the candidate substitution in
+    // place — the exact sums a full walk would produce after the swap — and
+    // score the substituted completion vector. The chromosome itself is
+    // only touched if the move wins.
+    let new_heavy =
+        problem.queue_cost_substituted(c, heavy, &heavy_positions, heavy_pos, donor_slot);
+    let donor_queue: Vec<usize> = donor_positions
+        .iter()
+        .filter(|&&(_, p)| p == donor_proc)
+        .map(|&(pos, _)| pos)
+        .collect();
+    let new_donor =
+        problem.queue_cost_substituted(c, donor_proc, &donor_queue, donor_pos, heavy_slot);
+    let new_fitness =
+        problem.fitness_with_substitution(completions, (heavy, new_heavy), (donor_proc, new_donor));
+
     if new_fitness > current_fitness {
+        c.genes_swap(donor_pos, heavy_pos);
+        completions[heavy] = new_heavy;
+        completions[donor_proc] = new_donor;
         Some(new_fitness)
     } else {
-        c.genes_swap(donor_pos, heavy_pos); // revert
         None
     }
 }
@@ -108,6 +141,7 @@ mod tests {
     use super::*;
     use crate::config::PnConfig;
     use crate::fitness::ProcessorState;
+    use dts_ga::Problem;
     use dts_model::{SimTime, Task, TaskId};
 
     fn tasks(sizes: &[f64]) -> Vec<Task> {
@@ -128,6 +162,12 @@ mod tests {
             .collect()
     }
 
+    fn completions_of(problem: &BatchProblem<'_>, c: &Chromosome) -> Vec<f64> {
+        let mut out = Vec::new();
+        problem.completion_times(c, &mut out);
+        out
+    }
+
     #[test]
     fn rebalance_moves_load_off_the_heavy_processor() {
         // Processor 0 holds two huge tasks; processor 1 a tiny one.
@@ -137,10 +177,11 @@ mod tests {
         let problem = BatchProblem::new(&batch, &ps, &cfg);
         let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2]]);
         let f0 = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
         let mut rng = Prng::seed_from(1);
         let mut improved = false;
         for _ in 0..20 {
-            if let Some(f) = rebalance_once(&problem, &mut c, f0, 5, &mut rng) {
+            if let Some(f) = rebalance_once(&problem, &mut c, f0, &mut completions, 5, &mut rng) {
                 assert!(f > f0);
                 improved = true;
                 break;
@@ -162,14 +203,54 @@ mod tests {
         let problem = BatchProblem::new(&batch, &ps, &cfg);
         let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2, 3], vec![4]]);
         let mut fitness = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
         let mut rng = Prng::seed_from(2);
         for _ in 0..200 {
-            if let Some(f) = rebalance_once(&problem, &mut c, fitness, 5, &mut rng) {
+            if let Some(f) =
+                rebalance_once(&problem, &mut c, fitness, &mut completions, 5, &mut rng)
+            {
                 assert!(f >= fitness, "keep-if-fitter violated");
                 fitness = f;
             }
             assert!(c.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn maintained_completions_match_fresh_walk_bitwise() {
+        // The in-place updates on commit must track the full walk exactly:
+        // any drift here would silently desynchronise the delta-evaluation
+        // and memo paths from the oracle.
+        let batch = tasks(&[
+            512.0, 480.0, 300.0, 250.0, 200.0, 130.0, 90.0, 60.0, 30.0, 10.0,
+        ]);
+        let ps = procs(4);
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &ps, &cfg);
+        let mut c =
+            Chromosome::from_queues(&[vec![0, 1, 2], vec![3, 4], vec![5, 6, 7], vec![8, 9]]);
+        let mut fitness = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
+        let mut rng = Prng::seed_from(7);
+        let mut commits = 0u32;
+        for _ in 0..300 {
+            if let Some(f) =
+                rebalance_once(&problem, &mut c, fitness, &mut completions, 5, &mut rng)
+            {
+                fitness = f;
+                commits += 1;
+            }
+            let fresh = completions_of(&problem, &c);
+            for (a, b) in completions.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "maintained completions drifted");
+            }
+            assert_eq!(
+                fitness.to_bits(),
+                problem.fitness(&c).to_bits(),
+                "maintained fitness drifted"
+            );
+        }
+        assert!(commits > 0, "expected at least one committed rebalance");
     }
 
     #[test]
@@ -180,8 +261,9 @@ mod tests {
         let problem = BatchProblem::new(&batch, &ps, &cfg);
         let mut c = Chromosome::from_queues(&[vec![0, 1]]);
         let f = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
         let mut rng = Prng::seed_from(3);
-        assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+        assert!(rebalance_once(&problem, &mut c, f, &mut completions, 5, &mut rng).is_none());
     }
 
     #[test]
@@ -193,8 +275,9 @@ mod tests {
         let problem = BatchProblem::new(&batch, &ps, &cfg);
         let mut c = Chromosome::from_queues(&[vec![0, 1], vec![]]);
         let f = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
         let mut rng = Prng::seed_from(4);
-        assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+        assert!(rebalance_once(&problem, &mut c, f, &mut completions, 5, &mut rng).is_none());
         assert!(c.validate().is_ok());
     }
 
@@ -207,9 +290,10 @@ mod tests {
         let problem = BatchProblem::new(&batch, &ps, &cfg);
         let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2]]);
         let f = problem.fitness(&c);
+        let mut completions = completions_of(&problem, &c);
         let mut rng = Prng::seed_from(5);
         for _ in 0..50 {
-            assert!(rebalance_once(&problem, &mut c, f, 5, &mut rng).is_none());
+            assert!(rebalance_once(&problem, &mut c, f, &mut completions, 5, &mut rng).is_none());
         }
     }
 }

@@ -73,12 +73,81 @@ proptest! {
         let mut rng = Prng::seed_from(seed);
         let mut c = list_scheduled_individual(&batch, &procs, 0.8, &mut rng);
         let mut fitness = problem.fitness(&c);
+        let mut completions = Vec::new();
+        problem.completion_times(&c, &mut completions);
         for _ in 0..16 {
-            if let Some(nf) = rebalance_once(&problem, &mut c, fitness, 5, &mut rng) {
+            if let Some(nf) = rebalance_once(&problem, &mut c, fitness, &mut completions, 5, &mut rng) {
                 prop_assert!(nf >= fitness);
                 fitness = nf;
             }
             prop_assert!(c.validate().is_ok());
+            // The maintained completion times must track the full walk
+            // bit-for-bit — they feed the fitness memo and delta paths.
+            let mut fresh = Vec::new();
+            problem.completion_times(&c, &mut fresh);
+            for (a, b) in completions.iter().zip(&fresh) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Delta-evaluation of an arbitrary gene swap is bit-identical to a
+    /// full `evaluate_into` walk — fitness, makespan, and every completion
+    /// time — whenever the delta path accepts the edit.
+    #[test]
+    fn swap_delta_matches_full_walk(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        frac in 0.0..=1.0f64,
+        seed in 0u64..u64::MAX,
+        swaps in proptest::collection::vec((0usize..4096, 0usize..4096), 1..40),
+    ) {
+        let cfg = PnConfig::default();
+        let problem = BatchProblem::new(&batch, &procs, &cfg);
+        let mut rng = Prng::seed_from(seed);
+        let mut c = list_scheduled_individual(&batch, &procs, frac, &mut rng);
+        let mut completions = Vec::new();
+        problem.evaluate_into(&c, &mut completions);
+        for (a, b) in swaps {
+            let len = c.genes().len();
+            let (i, j) = (a % len, b % len);
+            c.genes_swap(i, j);
+            let mut fresh = Vec::new();
+            let (ff, fms) = problem.evaluate_into(&c, &mut fresh);
+            match problem.evaluate_swap_delta(&c, i, j, &mut completions) {
+                Some((df, dms)) => {
+                    prop_assert_eq!(df.to_bits(), ff.to_bits(), "fitness drift");
+                    prop_assert_eq!(dms.to_bits(), fms.to_bits(), "makespan drift");
+                    for (x, y) in completions.iter().zip(&fresh) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits(), "completion drift");
+                    }
+                }
+                None => completions = fresh,
+            }
+        }
+    }
+
+    /// The fitness memo changes nothing observable: a batch run with the
+    /// memo disabled is bit-identical to one with it enabled, at one worker
+    /// or several.
+    #[test]
+    fn memo_on_off_and_workers_bit_identical(
+        batch in tasks_strategy(),
+        procs in procs_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut base = PnConfig::default();
+        base.ga.max_generations = 8;
+        let mut memo_off = base.clone();
+        memo_off.ga.memo_capacity = 0;
+        let mut memo_on_parallel = base.clone();
+        memo_on_parallel.ga.evaluator = dts_ga::Evaluator::ThreadPool { workers: 4 };
+        let reference = schedule_batch(&batch, &procs, &base, seed);
+        for cfg in [&memo_off, &memo_on_parallel] {
+            let run = schedule_batch(&batch, &procs, cfg, seed);
+            prop_assert_eq!(&run.queues, &reference.queues);
+            prop_assert_eq!(run.best_fitness.to_bits(), reference.best_fitness.to_bits());
+            prop_assert_eq!(run.best_makespan.to_bits(), reference.best_makespan.to_bits());
         }
     }
 

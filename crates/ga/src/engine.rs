@@ -19,31 +19,39 @@
 //! # Evaluation pipeline
 //!
 //! Each generation is organised into phases so that fitness evaluation —
-//! the GA's hot spot — is batched and can run in parallel without touching
-//! the RNG stream (see [`crate::evaluate`]):
+//! the GA's hot spot — is batched, memoised, and delta-evaluated without
+//! touching the RNG stream (see [`crate::evaluate`] and [`crate::memo`]):
 //!
 //! 1. **breed** (serial, draws RNG): elitism, selection, crossover. Clones
 //!    carry their cached fitness; fresh offspring are queued by index.
-//! 2. **evaluate** (parallel-safe, no RNG): the queued offspring are
-//!    evaluated as one batch and written back by index.
-//! 3. **mutate** (serial, draws RNG): mutations are applied in place and
-//!    the touched indices recorded.
-//! 4. **re-evaluate** (parallel-safe, no RNG): only the mutated
-//!    individuals are re-evaluated — everything untouched keeps the
-//!    fitness and makespan derived from its earlier per-processor
-//!    completion times.
-//! 5. **improve** (serial, draws RNG): the §3.5 local-improvement hook.
+//! 2. **evaluate** (parallel-safe, no RNG): queued offspring are looked up
+//!    in the fitness memo first — duplicate genomes, common late in
+//!    convergence, are served from cache — and only the misses are
+//!    evaluated as one batch, written back by index.
+//! 3. **mutate** (serial, draws RNG): mutations are applied in place.
+//!    A transposition ([`GeneEdit::Swap`]) is delta-evaluated on the spot
+//!    against the individual's cached per-processor completion times;
+//!    opaque edits mark the individual dirty.
+//! 4. **re-evaluate** (parallel-safe, no RNG): only the dirty individuals
+//!    are re-evaluated (again through the memo) — everything else keeps
+//!    its incrementally maintained fitness, makespan, and completions.
+//! 5. **improve** (serial, draws RNG): the §3.5 local-improvement hook,
+//!    fed the maintained completion times so it never re-walks the whole
+//!    chromosome either.
 //!
-//! Because phases 2 and 4 are pure and write back by index, the population
+//! Because phases 2 and 4 are pure, consult the memo on the coordinating
+//! thread in submission order, and write back by index, the population
 //! ordering and every subsequent RNG draw are bit-identical whichever
-//! [`crate::Evaluator`] executes them.
+//! [`crate::Evaluator`] executes them — memo on or off, delta or full
+//! path. `tests/determinism.rs` and the engine tests lock this in.
 
 use dts_distributions::{Prng, Rng};
 
 use crate::crossover::CrossoverOp;
 use crate::encoding::Chromosome;
-use crate::evaluate::{BatchEval, Evaluator};
-use crate::mutation::MutationOp;
+use crate::evaluate::{BatchEval, Evaluated, Evaluator};
+use crate::memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
+use crate::mutation::{GeneEdit, MutationOp};
 use crate::selection::SelectionOp;
 
 /// The optimisation problem a GA run solves.
@@ -71,12 +79,76 @@ pub trait Problem {
         (self.fitness(c), self.makespan(c))
     }
 
+    /// Evaluates `c` and exports the per-processor completion times `Cⱼ`
+    /// its fitness and makespan derive from — the state the engine keeps
+    /// alongside each individual so single-swap edits can be
+    /// delta-evaluated ([`Problem::evaluate_swap_delta`]) instead of
+    /// re-walking the whole chromosome.
+    ///
+    /// Must return exactly what [`Problem::evaluate`] returns. On return,
+    /// `completions` holds either one entry per processor or nothing: the
+    /// default clears it, which is correct for problems without an
+    /// incremental path — they simply never delta-evaluate.
+    fn evaluate_into(&self, c: &Chromosome, completions: &mut Vec<f64>) -> (f64, f64) {
+        completions.clear();
+        self.evaluate(c)
+    }
+
+    /// Attempts to re-evaluate `c` after a transposition of the genes now
+    /// at positions `i` and `j`. The swap is **already applied** to `c`;
+    /// `completions` still holds the pre-swap completion times exported by
+    /// [`Problem::evaluate_into`].
+    ///
+    /// On success, updates `completions` in place and returns the new
+    /// `(fitness, makespan)`, **bit-identical** to what a fresh
+    /// `evaluate_into` of `c` would produce — the determinism contract.
+    /// In particular, implementations must re-accumulate the affected
+    /// processors' sums in gene order rather than add/subtract terms,
+    /// because float addition is not associative. Returning `None` means
+    /// the edit is not delta-evaluable (a delimiter moved, or
+    /// `completions` is not this problem's export); `completions` must
+    /// then be left unchanged and the engine falls back to a full
+    /// evaluation. The default always declines.
+    fn evaluate_swap_delta(
+        &self,
+        c: &Chromosome,
+        i: usize,
+        j: usize,
+        completions: &mut [f64],
+    ) -> Option<(f64, f64)> {
+        let _ = (c, i, j, completions);
+        None
+    }
+
+    /// A digest of the evaluation context — everything besides the
+    /// chromosome that [`Problem::evaluate`] depends on (for the PN
+    /// problem: ψ, the processor rate/load/communication estimates, and
+    /// the batch's task sizes). Two problem values with equal keys must
+    /// evaluate every chromosome identically: the engine opens its
+    /// fitness-memo epoch with this key, so stale cached values can never
+    /// leak across contexts. The default (0) is sound for the common case
+    /// of one problem value per engine run.
+    fn epoch_key(&self) -> u64 {
+        0
+    }
+
     /// Optional local improvement applied to every individual in every
     /// generation (the §3.5 rebalancing heuristic). Implementations mutate
     /// `c` in place **only** when the result is fitter, returning the new
-    /// fitness; returning `None` leaves `c` untouched.
-    fn improve(&self, c: &mut Chromosome, current_fitness: f64, rng: &mut Prng) -> Option<f64> {
-        let _ = (c, current_fitness, rng);
+    /// `(fitness, makespan)` and updating `completions` to match the
+    /// improved chromosome; returning `None` leaves both `c` and
+    /// `completions` untouched. `completions` is the state exported by
+    /// [`Problem::evaluate_into`] for the current `c` — empty for problems
+    /// that do not export completion times, in which case implementations
+    /// must recompute whatever they need.
+    fn improve(
+        &self,
+        c: &mut Chromosome,
+        current_fitness: f64,
+        completions: &mut Vec<f64>,
+        rng: &mut Prng,
+    ) -> Option<(f64, f64)> {
+        let _ = (c, current_fitness, completions, rng);
         None
     }
 }
@@ -117,6 +189,13 @@ pub struct GaConfig {
     /// once `population_size × batch` work dwarfs per-generation
     /// synchronisation (see `perf_eval` / BENCH_parallel_eval.json).
     pub evaluator: Evaluator,
+    /// Capacity (entries) of the per-run fitness memo: duplicate genomes —
+    /// common late in convergence — are evaluated once and then served
+    /// from cache ([`crate::FitnessMemo`]). `0` disables memoisation.
+    /// Memoised and unmemoised runs are bit-identical (the cache stores
+    /// exactly what evaluation returned); hit/miss counts are surfaced in
+    /// [`GaResult::memo_hits`] / [`GaResult::memo_misses`].
+    pub memo_capacity: usize,
 }
 
 impl Default for GaConfig {
@@ -131,6 +210,7 @@ impl Default for GaConfig {
             plateau_generations: None,
             record_history: false,
             evaluator: Evaluator::Serial,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
         }
     }
 }
@@ -183,12 +263,66 @@ pub struct GaResult {
     /// after batch — the dynamic schedulers — carry the head of this list
     /// forward as warm-start seeds for the next run.
     pub final_population: Vec<Chromosome>,
+    /// Fitness-memo lookups served from cache (0 when the memo is
+    /// disabled). One lookup happens per queued evaluation job, so
+    /// `memo_hits + memo_misses` is the number of evaluations the run
+    /// *requested* and `memo_misses` the number actually computed.
+    pub memo_hits: u64,
+    /// Fitness-memo lookups that required a real evaluation.
+    pub memo_misses: u64,
 }
 
 struct Individual {
     chrom: Chromosome,
     fitness: f64,
     makespan: f64,
+    /// Per-processor completion times from the problem's `evaluate_into`
+    /// (empty when the problem does not export them), kept in sync with
+    /// `chrom` so swap mutations and the improve hook can delta-evaluate.
+    completions: Vec<f64>,
+}
+
+impl Individual {
+    fn from_eval(e: Evaluated) -> Self {
+        Self {
+            chrom: e.chrom,
+            fitness: e.fitness,
+            makespan: e.makespan,
+            completions: e.completions,
+        }
+    }
+}
+
+/// Memoised batch evaluation: consults the fitness memo on the calling
+/// (coordinator) thread in submission order — so hit/miss decisions are a
+/// pure function of the job sequence, independent of the evaluator — then
+/// dispatches only the misses to the evaluation context and caches their
+/// results. Returns one result per job, not necessarily in index order;
+/// callers write back by index.
+fn eval_indexed(
+    eval: &dyn BatchEval,
+    memo: &mut FitnessMemo,
+    jobs: Vec<(usize, Chromosome)>,
+) -> Vec<Evaluated> {
+    let mut ready: Vec<Evaluated> = Vec::with_capacity(jobs.len());
+    let mut misses: Vec<(usize, Chromosome)> = Vec::new();
+    for (index, chrom) in jobs {
+        match memo.lookup(&chrom) {
+            Some((fitness, makespan, completions)) => ready.push(Evaluated {
+                index,
+                chrom,
+                fitness,
+                makespan,
+                completions,
+            }),
+            None => misses.push((index, chrom)),
+        }
+    }
+    for e in eval.eval_batch(misses) {
+        memo.insert(&e.chrom, e.fitness, e.makespan, &e.completions);
+        ready.push(e);
+    }
+    ready
 }
 
 /// The genetic-algorithm engine: operators + configuration.
@@ -268,19 +402,24 @@ impl<'a> GaEngine<'a> {
             .max_generations
             .min(max_generations_override.unwrap_or(u32::MAX));
 
+        // The per-run fitness memo, opened on the problem's evaluation
+        // epoch. All lookups happen on this thread, in submission order.
+        let mut memo = FitnessMemo::new(self.config.memo_capacity);
+        memo.begin_epoch(problem.epoch_key());
+
         // Materialise the working population, cycling the seeds if needed;
         // the whole initial batch is evaluated through the context.
         let init_jobs: Vec<(usize, Chromosome)> = (0..pop_size)
             .map(|i| (i, initial[i % initial.len()].clone()))
             .collect();
-        let mut pop: Vec<Individual> = eval
-            .eval_batch(init_jobs)
+        let mut init_slots: Vec<Option<Individual>> = (0..pop_size).map(|_| None).collect();
+        for e in eval_indexed(eval, &mut memo, init_jobs) {
+            let i = e.index;
+            init_slots[i] = Some(Individual::from_eval(e));
+        }
+        let mut pop: Vec<Individual> = init_slots
             .into_iter()
-            .map(|e| Individual {
-                chrom: e.chrom,
-                fitness: e.fitness,
-                makespan: e.makespan,
-            })
+            .map(|slot| slot.expect("every initial slot evaluated"))
             .collect();
 
         let mut history = Vec::new();
@@ -318,6 +457,8 @@ impl<'a> GaEngine<'a> {
                     stop_reason,
                     history,
                     final_population: Self::ranked_population(pop),
+                    memo_hits: memo.hits(),
+                    memo_misses: memo.misses(),
                 };
             }
         }
@@ -340,16 +481,28 @@ impl<'a> GaEngine<'a> {
             if self.config.elitism > 0 {
                 let mut order: Vec<usize> = (0..pop.len()).collect();
                 order.sort_by(|&a, &b| {
+                    // Fitness descending, then makespan ascending: the
+                    // deterministic tie-break keeps elitism meaningful
+                    // even when many near-optimal schedules share a
+                    // fitness value. Remaining ties keep index order (the
+                    // sort is stable).
                     pop[b]
                         .fitness
                         .partial_cmp(&pop[a].fitness)
                         .expect("finite fitness")
+                        .then_with(|| {
+                            pop[a]
+                                .makespan
+                                .partial_cmp(&pop[b].makespan)
+                                .expect("finite makespan")
+                        })
                 });
                 for &i in order.iter().take(self.config.elitism) {
                     next.push(Some(Individual {
                         chrom: pop[i].chrom.clone(),
                         fitness: pop[i].fitness,
                         makespan: pop[i].makespan,
+                        completions: pop[i].completions.clone(),
                     }));
                 }
             }
@@ -369,38 +522,61 @@ impl<'a> GaEngine<'a> {
                         chrom: pop[pa].chrom.clone(),
                         fitness: pop[pa].fitness,
                         makespan: pop[pa].makespan,
+                        completions: pop[pa].completions.clone(),
                     }));
                 }
             }
 
             // --- evaluate the fresh offspring, write back by index -----
-            for e in eval.eval_batch(offspring) {
-                next[e.index] = Some(Individual {
-                    chrom: e.chrom,
-                    fitness: e.fitness,
-                    makespan: e.makespan,
-                });
+            for e in eval_indexed(eval, &mut memo, offspring) {
+                let i = e.index;
+                next[i] = Some(Individual::from_eval(e));
             }
             pop = next
                 .into_iter()
                 .map(|slot| slot.expect("every slot bred or evaluated"))
                 .collect();
 
-            // --- random mutation (draws RNG), deferred re-evaluation ---
+            // --- random mutation (draws RNG) ---------------------------
+            // A transposition on an individual with valid completion
+            // times is delta-evaluated on the spot: only the affected
+            // processors' sums are recomputed. Anything else marks the
+            // individual dirty for a full batched re-evaluation. Once
+            // dirty, always dirty — the cached completions no longer
+            // describe the chromosome, so later swaps cannot delta off
+            // them.
             let mut dirty: Vec<usize> = Vec::new();
             for _ in 0..self.config.mutations_per_generation {
-                let i = rng.below(pop.len());
-                self.mutation.mutate(&mut pop[i].chrom, rng);
-                if !dirty.contains(&i) {
-                    dirty.push(i);
+                let idx = rng.below(pop.len());
+                let edit = self.mutation.mutate_tracked(&mut pop[idx].chrom, rng);
+                let already_dirty = dirty.contains(&idx);
+                let delta = match edit {
+                    GeneEdit::Unchanged => continue,
+                    GeneEdit::Swap { i, j } if !already_dirty => {
+                        let ind = &mut pop[idx];
+                        problem.evaluate_swap_delta(&ind.chrom, i, j, &mut ind.completions)
+                    }
+                    _ => None,
+                };
+                match delta {
+                    Some((fitness, makespan)) => {
+                        let ind = &mut pop[idx];
+                        ind.fitness = fitness;
+                        ind.makespan = makespan;
+                        // The delta result is bit-identical to a full
+                        // evaluation, so it is safe to cache.
+                        memo.insert(&ind.chrom, fitness, makespan, &ind.completions);
+                    }
+                    None if !already_dirty => dirty.push(idx),
+                    None => {}
                 }
             }
             if !dirty.is_empty() {
-                // Only mutated individuals are re-evaluated; the rest keep
-                // the values from their earlier completion-time pass. The
-                // mutated chromosomes are moved out (a trivial placeholder
-                // takes their slot) and moved back with their evaluation —
-                // no clone in the hot loop.
+                // Only dirty individuals are re-evaluated; the rest keep
+                // their incrementally maintained values. The dirty
+                // chromosomes are moved out (a trivial placeholder takes
+                // their slot) and moved back with their evaluation — no
+                // clone in the hot loop.
                 dirty.sort_unstable();
                 let jobs: Vec<(usize, Chromosome)> = dirty
                     .iter()
@@ -412,20 +588,19 @@ impl<'a> GaEngine<'a> {
                         (i, chrom)
                     })
                     .collect();
-                for e in eval.eval_batch(jobs) {
-                    pop[e.index] = Individual {
-                        chrom: e.chrom,
-                        fitness: e.fitness,
-                        makespan: e.makespan,
-                    };
+                for e in eval_indexed(eval, &mut memo, jobs) {
+                    let i = e.index;
+                    pop[i] = Individual::from_eval(e);
                 }
             }
 
             // --- local improvement (rebalancing heuristic, §3.5) ------
             for ind in &mut pop {
-                if let Some(new_fit) = problem.improve(&mut ind.chrom, ind.fitness, rng) {
-                    ind.fitness = new_fit;
-                    ind.makespan = problem.makespan(&ind.chrom);
+                if let Some((fitness, makespan)) =
+                    problem.improve(&mut ind.chrom, ind.fitness, &mut ind.completions, rng)
+                {
+                    ind.fitness = fitness;
+                    ind.makespan = makespan;
                 }
             }
 
@@ -465,6 +640,8 @@ impl<'a> GaEngine<'a> {
             stop_reason,
             history,
             final_population: Self::ranked_population(pop),
+            memo_hits: memo.hits(),
+            memo_misses: memo.misses(),
         }
     }
 
@@ -617,7 +794,13 @@ mod tests {
             fn makespan(&self, c: &Chromosome) -> f64 {
                 c.queue_lengths().into_iter().max().unwrap_or(0) as f64
             }
-            fn improve(&self, c: &mut Chromosome, current: f64, _rng: &mut Prng) -> Option<f64> {
+            fn improve(
+                &self,
+                c: &mut Chromosome,
+                current: f64,
+                _completions: &mut Vec<f64>,
+                _rng: &mut Prng,
+            ) -> Option<(f64, f64)> {
                 let mut queues = c.to_queues();
                 let (longest, shortest) = {
                     let mut longest = 0;
@@ -640,8 +823,9 @@ mod tests {
                 let candidate = Chromosome::from_queues(&queues);
                 let f = self.fitness(&candidate);
                 if f > current {
+                    let ms = self.makespan(&candidate);
                     *c = candidate;
-                    Some(f)
+                    Some((f, ms))
                 } else {
                     None
                 }
@@ -685,6 +869,123 @@ mod tests {
                 assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
                 assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn memo_on_and_off_are_bit_identical() {
+        let run = |memo_capacity: usize| {
+            let e = engine(GaConfig {
+                max_generations: 60,
+                mutations_per_generation: 4,
+                record_history: true,
+                memo_capacity,
+                ..GaConfig::default()
+            });
+            let mut rng = Prng::seed_from(53);
+            e.run(&Balance, skewed_initial(20), None, &mut rng)
+        };
+        let off = run(0);
+        let on = run(crate::memo::DEFAULT_MEMO_CAPACITY);
+        assert_eq!(on.best, off.best);
+        assert_eq!(on.best_makespan.to_bits(), off.best_makespan.to_bits());
+        assert_eq!(on.best_fitness.to_bits(), off.best_fitness.to_bits());
+        assert_eq!(on.generations, off.generations);
+        assert_eq!(on.history.len(), off.history.len());
+        for (a, b) in on.history.iter().zip(&off.history) {
+            assert_eq!(a.best_makespan.to_bits(), b.best_makespan.to_bits());
+            assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+            assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+        }
+        assert_eq!(off.memo_hits, 0, "disabled memo must never hit");
+        assert!(off.memo_misses > 0);
+        assert!(
+            on.memo_hits > 0,
+            "identical seeds and clone-heavy breeding must produce hits"
+        );
+        assert!(on.memo_misses < off.memo_misses);
+    }
+
+    #[test]
+    fn delta_evaluation_is_used_and_bit_identical() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        use crate::encoding::Gene;
+
+        /// `Balance`, but exporting queue lengths as "completion times"
+        /// and delta-evaluating task–task swaps (which cannot change any
+        /// queue's length, so the cached state is already current).
+        struct DeltaBalance {
+            deltas: AtomicU64,
+        }
+        impl Problem for DeltaBalance {
+            fn fitness(&self, c: &Chromosome) -> f64 {
+                1.0 / (1.0 + self.makespan(c))
+            }
+            fn makespan(&self, c: &Chromosome) -> f64 {
+                c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+            }
+            fn evaluate_into(&self, c: &Chromosome, completions: &mut Vec<f64>) -> (f64, f64) {
+                completions.clear();
+                completions.extend(c.queue_lengths().into_iter().map(|l| l as f64));
+                let ms = completions.iter().copied().fold(0.0f64, f64::max);
+                (1.0 / (1.0 + ms), ms)
+            }
+            fn evaluate_swap_delta(
+                &self,
+                c: &Chromosome,
+                i: usize,
+                j: usize,
+                completions: &mut [f64],
+            ) -> Option<(f64, f64)> {
+                let genes = c.genes();
+                if completions.is_empty()
+                    || !matches!(genes[i], Gene::Task(_))
+                    || !matches!(genes[j], Gene::Task(_))
+                {
+                    return None;
+                }
+                self.deltas.fetch_add(1, Ordering::Relaxed);
+                let ms = completions.iter().copied().fold(0.0f64, f64::max);
+                Some((1.0 / (1.0 + ms), ms))
+            }
+        }
+
+        fn run_on<P: Problem + Sync>(p: &P) -> GaResult {
+            static SEL: RouletteWheel = RouletteWheel;
+            static CX: CycleCrossover = CycleCrossover;
+            static MU: SwapMutation = SwapMutation;
+            let e = GaEngine::new(
+                &SEL,
+                &CX,
+                &MU,
+                GaConfig {
+                    max_generations: 60,
+                    mutations_per_generation: 6,
+                    record_history: true,
+                    ..GaConfig::default()
+                },
+            );
+            let mut rng = Prng::seed_from(54);
+            e.run(p, skewed_initial(20), None, &mut rng)
+        }
+
+        let plain = run_on(&Balance);
+        let delta_problem = DeltaBalance {
+            deltas: AtomicU64::new(0),
+        };
+        let fast = run_on(&delta_problem);
+        assert!(
+            delta_problem.deltas.load(Ordering::Relaxed) > 0,
+            "delta path never exercised"
+        );
+        assert_eq!(plain.best, fast.best);
+        assert_eq!(plain.best_makespan.to_bits(), fast.best_makespan.to_bits());
+        assert_eq!(plain.best_fitness.to_bits(), fast.best_fitness.to_bits());
+        assert_eq!(plain.generations, fast.generations);
+        for (a, b) in plain.history.iter().zip(&fast.history) {
+            assert_eq!(a.best_makespan.to_bits(), b.best_makespan.to_bits());
+            assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
         }
     }
 

@@ -172,14 +172,31 @@ type Chunk = Vec<(usize, Chromosome)>;
 type ChunkResult = Result<Vec<Evaluated>, String>;
 
 /// Best-effort extraction of a panic payload's message.
+///
+/// `&str` and `String` payloads (what `panic!` produces) pass through
+/// verbatim. For `std::panic::panic_any` payloads the value is rendered
+/// when the type is a common primitive; anything else is reported by its
+/// [`std::any::TypeId`], which at least distinguishes *which* payload type
+/// a worker died with instead of collapsing everything to one string.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! try_render {
+        ($($ty:ty),+ $(,)?) => {$(
+            if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!("{v:?} (panic payload of type {})", stringify!($ty));
+            }
+        )+};
+    }
+    try_render!(i32, u32, i64, u64, i128, u128, usize, isize, f32, f64, bool, char);
+    format!(
+        "non-string panic payload ({:?})",
+        std::any::Any::type_id(&*payload)
+    )
 }
 
 /// The result of evaluating one chromosome.
@@ -193,16 +210,23 @@ pub struct Evaluated {
     pub fitness: f64,
     /// Its makespan ([`Problem::makespan`]).
     pub makespan: f64,
+    /// Per-processor completion times, when the problem exports them via
+    /// [`Problem::evaluate_into`] (empty otherwise). The engine keeps them
+    /// alongside each individual so later single-swap edits can be
+    /// delta-evaluated instead of re-walking the chromosome.
+    pub completions: Vec<f64>,
 }
 
 impl Evaluated {
     fn of<P: Problem + ?Sized>(problem: &P, index: usize, chrom: Chromosome) -> Self {
-        let (fitness, makespan) = problem.evaluate(&chrom);
+        let mut completions = Vec::new();
+        let (fitness, makespan) = problem.evaluate_into(&chrom, &mut completions);
         Self {
             index,
             chrom,
             fitness,
             makespan,
+            completions,
         }
     }
 }
@@ -377,6 +401,44 @@ mod tests {
         let pop = population(8);
         Evaluator::ThreadPool { workers: 2 }
             .with_context(&Explosive, |ctx| ctx.eval_batch(jobs(&pop)));
+    }
+
+    #[test]
+    #[should_panic(expected = "(panic payload of type i32)")]
+    fn worker_panic_with_structured_payload_stays_diagnosable() {
+        struct Structured;
+        impl Problem for Structured {
+            fn fitness(&self, _c: &Chromosome) -> f64 {
+                std::panic::panic_any(42i32)
+            }
+            fn makespan(&self, _c: &Chromosome) -> f64 {
+                0.0
+            }
+        }
+        let pop = population(8);
+        Evaluator::ThreadPool { workers: 2 }
+            .with_context(&Structured, |ctx| ctx.eval_batch(jobs(&pop)));
+    }
+
+    #[test]
+    fn panic_message_preserves_payload_information() {
+        assert_eq!(panic_message(Box::new("boom")), "boom");
+        assert_eq!(panic_message(Box::new(String::from("sos"))), "sos");
+        assert_eq!(
+            panic_message(Box::new(42i32)),
+            "42 (panic payload of type i32)"
+        );
+        assert_eq!(
+            panic_message(Box::new(2.5f64)),
+            "2.5 (panic payload of type f64)"
+        );
+        assert_eq!(
+            panic_message(Box::new(true)),
+            "true (panic payload of type bool)"
+        );
+        // Unrenderable payloads still report a distinguishing TypeId.
+        let msg = panic_message(Box::new(vec![1u8, 2]));
+        assert!(msg.starts_with("non-string panic payload ("), "{msg}");
     }
 
     #[test]

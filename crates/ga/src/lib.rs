@@ -22,6 +22,13 @@
 //!   [`evaluate::Evaluator`] executes fitness batches either serially or on
 //!   a scoped thread pool, with results written back by chromosome index so
 //!   runs are bit-identical at any worker count.
+//! * [`memo`] — the fitness memo: duplicate genomes (common late in
+//!   convergence) are evaluated once per batch epoch and then served from
+//!   an O(1) cache keyed by the chromosome's incrementally maintained
+//!   content digest. Together with delta-evaluation of swap mutations
+//!   ([`Problem::evaluate_swap_delta`]), this makes a converged generation
+//!   an order of magnitude cheaper than full re-evaluation while staying
+//!   bit-identical to it.
 //!
 //! # Parallel evaluation
 //!
@@ -48,6 +55,7 @@ pub mod crossover;
 pub mod encoding;
 pub mod engine;
 pub mod evaluate;
+pub mod memo;
 pub mod mutation;
 pub mod selection;
 
@@ -55,5 +63,6 @@ pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, 
 pub use encoding::{Chromosome, Gene};
 pub use engine::{GaConfig, GaEngine, GaResult, GenStats, Problem, StopReason};
 pub use evaluate::{BatchEval, Evaluated, Evaluator};
-pub use mutation::{InsertMutation, InversionMutation, MutationOp, SwapMutation};
+pub use memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
+pub use mutation::{GeneEdit, InsertMutation, InversionMutation, MutationOp, SwapMutation};
 pub use selection::{RankSelection, RouletteWheel, SelectionOp, Tournament};

@@ -14,10 +14,43 @@ use dts_distributions::{Prng, Rng};
 
 use crate::encoding::Chromosome;
 
+/// A compact description of the edit one mutation applied, reported by
+/// [`MutationOp::mutate_tracked`] so the engine can delta-evaluate the
+/// mutant instead of walking the whole chromosome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeneEdit {
+    /// The chromosome is unchanged (degenerate draw, e.g. `i == j`). Its
+    /// cached fitness and completion times remain valid.
+    Unchanged,
+    /// Exactly the genes at positions `i` and `j` were exchanged
+    /// (`i != j`). Eligible for [`crate::Problem::evaluate_swap_delta`].
+    Swap {
+        /// First swapped position.
+        i: usize,
+        /// Second swapped position.
+        j: usize,
+    },
+    /// An edit with no compact description; the mutant needs a full
+    /// re-evaluation.
+    Opaque,
+}
+
 /// Mutates a chromosome in place.
 pub trait MutationOp: Send + Sync {
     /// Applies one mutation. Must preserve the permutation invariant.
     fn mutate(&self, c: &mut Chromosome, rng: &mut Prng);
+
+    /// Applies one mutation and reports what it did as a [`GeneEdit`].
+    ///
+    /// Must draw exactly the same RNG stream as [`MutationOp::mutate`] —
+    /// the engine uses this variant unconditionally, and the determinism
+    /// contract requires the draw sequence to be independent of whether
+    /// the report is acted on. The default wraps `mutate` and reports
+    /// [`GeneEdit::Opaque`] (always correct, never fast).
+    fn mutate_tracked(&self, c: &mut Chromosome, rng: &mut Prng) -> GeneEdit {
+        self.mutate(c, rng);
+        GeneEdit::Opaque
+    }
 
     /// Short label for experiment tables.
     fn label(&self) -> &'static str;
@@ -29,14 +62,23 @@ pub struct SwapMutation;
 
 impl MutationOp for SwapMutation {
     fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let _ = self.mutate_tracked(c, rng);
+    }
+
+    fn mutate_tracked(&self, c: &mut Chromosome, rng: &mut Prng) -> GeneEdit {
         let n = c.genes().len();
         if n < 2 {
-            return;
+            return GeneEdit::Unchanged;
         }
         let i = rng.below(n);
         let j = rng.below(n);
-        c.genes_mut().swap(i, j);
+        c.genes_swap(i, j);
         debug_assert!(c.validate().is_ok());
+        if i == j {
+            GeneEdit::Unchanged
+        } else {
+            GeneEdit::Swap { i, j }
+        }
     }
 
     fn label(&self) -> &'static str {
@@ -50,24 +92,30 @@ pub struct InsertMutation;
 
 impl MutationOp for InsertMutation {
     fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let _ = self.mutate_tracked(c, rng);
+    }
+
+    fn mutate_tracked(&self, c: &mut Chromosome, rng: &mut Prng) -> GeneEdit {
         let n = c.genes().len();
         if n < 2 {
-            return;
+            return GeneEdit::Unchanged;
         }
         let from = rng.below(n);
         let to = rng.below(n);
         if from == to {
-            return;
+            return GeneEdit::Unchanged;
         }
-        let genes = c.genes_mut();
-        let g = genes[from];
-        if from < to {
-            genes.copy_within(from + 1..=to, from);
-        } else {
-            genes.copy_within(to..from, to + 1);
-        }
-        genes[to] = g;
+        c.with_genes_mut(|genes| {
+            let g = genes[from];
+            if from < to {
+                genes.copy_within(from + 1..=to, from);
+            } else {
+                genes.copy_within(to..from, to + 1);
+            }
+            genes[to] = g;
+        });
         debug_assert!(c.validate().is_ok());
+        GeneEdit::Opaque
     }
 
     fn label(&self) -> &'static str {
@@ -82,15 +130,32 @@ pub struct InversionMutation;
 
 impl MutationOp for InversionMutation {
     fn mutate(&self, c: &mut Chromosome, rng: &mut Prng) {
+        let _ = self.mutate_tracked(c, rng);
+    }
+
+    fn mutate_tracked(&self, c: &mut Chromosome, rng: &mut Prng) -> GeneEdit {
         let n = c.genes().len();
         if n < 2 {
-            return;
+            return GeneEdit::Unchanged;
         }
         let i = rng.below(n);
         let j = rng.below(n);
         let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
-        c.genes_mut()[lo..=hi].reverse();
-        debug_assert!(c.validate().is_ok());
+        match hi - lo {
+            0 => GeneEdit::Unchanged,
+            1 => {
+                // A two-gene reversal is exactly a transposition: report it
+                // as such so the engine can delta-evaluate.
+                c.genes_swap(lo, hi);
+                debug_assert!(c.validate().is_ok());
+                GeneEdit::Swap { i: lo, j: hi }
+            }
+            _ => {
+                c.with_genes_mut(|genes| genes[lo..=hi].reverse());
+                debug_assert!(c.validate().is_ok());
+                GeneEdit::Opaque
+            }
+        }
     }
 
     fn label(&self) -> &'static str {
@@ -181,6 +246,71 @@ mod tests {
     fn labels() {
         assert_eq!(SwapMutation.label(), "swap");
         assert_eq!(InsertMutation.label(), "insert");
+    }
+
+    #[test]
+    fn tracked_swap_reports_the_actual_transposition() {
+        let mut rng = Prng::seed_from(21);
+        for _ in 0..200 {
+            let before = chrom();
+            let mut c = before.clone();
+            match SwapMutation.mutate_tracked(&mut c, &mut rng) {
+                GeneEdit::Swap { i, j } => {
+                    assert_ne!(i, j);
+                    let mut replayed = before.clone();
+                    replayed.genes_swap(i, j);
+                    assert_eq!(replayed, c, "reported edit does not replay");
+                }
+                GeneEdit::Unchanged => assert_eq!(c, before),
+                GeneEdit::Opaque => panic!("swap mutation must be trackable"),
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_and_untracked_draw_identical_rng_streams() {
+        // mutate() and mutate_tracked() must consume the same number of
+        // draws in the same order for every operator, or the engine's
+        // switch to the tracked form would shift downstream randomness.
+        let ops: [&dyn MutationOp; 3] = [&SwapMutation, &InsertMutation, &InversionMutation];
+        for op in ops {
+            let mut ra = Prng::seed_from(31);
+            let mut rb = Prng::seed_from(31);
+            for _ in 0..100 {
+                let mut a = chrom();
+                let mut b = chrom();
+                op.mutate(&mut a, &mut ra);
+                let _ = op.mutate_tracked(&mut b, &mut rb);
+                assert_eq!(a, b, "{}: divergent mutants", op.label());
+            }
+            // Post-run draws must coincide, proving equal consumption.
+            assert_eq!(ra.below(1 << 30), rb.below(1 << 30), "{}", op.label());
+        }
+    }
+
+    #[test]
+    fn tracked_insert_and_inversion_report_conservatively() {
+        let mut rng = Prng::seed_from(41);
+        for _ in 0..200 {
+            let before = chrom();
+            let mut c = before.clone();
+            let edit = InsertMutation.mutate_tracked(&mut c, &mut rng);
+            match edit {
+                GeneEdit::Unchanged => assert_eq!(c, before),
+                GeneEdit::Opaque => {}
+                GeneEdit::Swap { .. } => panic!("insert never reports Swap"),
+            }
+            let mut c = before.clone();
+            match InversionMutation.mutate_tracked(&mut c, &mut rng) {
+                GeneEdit::Unchanged => assert_eq!(c, before),
+                GeneEdit::Swap { i, j } => {
+                    let mut replayed = before.clone();
+                    replayed.genes_swap(i, j);
+                    assert_eq!(replayed, c);
+                }
+                GeneEdit::Opaque => {}
+            }
+        }
     }
 }
 

@@ -112,6 +112,83 @@ proptest! {
             "GA returned something worse than its seeds");
     }
 
+    /// The cached content digest is a pure function of the gene sequence:
+    /// any chromosome reaching the same genes through a different history
+    /// (here: arbitrary swap sequences vs. reconstruction from queues)
+    /// hashes identically, and differing gene sequences hash differently.
+    #[test]
+    fn content_hash_tracks_content_not_history(
+        (a, b, seed) in chromosome_strategy(),
+        swaps in proptest::collection::vec((0usize..4096, 0usize..4096), 0..32),
+    ) {
+        let _ = seed;
+        let len = a.genes().len();
+        let mut mutated = a.clone();
+        let mut mirrored = a.clone();
+        for &(i, j) in &swaps {
+            mutated.genes_swap(i % len, j % len);
+            // Same transposition, arguments reversed: a different call
+            // history that must land on the same content and hash.
+            mirrored.genes_swap(j % len, i % len);
+        }
+        prop_assert_eq!(mutated.genes(), mirrored.genes());
+        prop_assert_eq!(mutated.content_hash(), mirrored.content_hash(),
+            "equal gene sequences must hash equally");
+        // Undoing the swaps in reverse order must restore both the genes
+        // and the incrementally maintained hash exactly.
+        for &(i, j) in swaps.iter().rev() {
+            mutated.genes_swap(i % len, j % len);
+        }
+        prop_assert_eq!(mutated.genes(), a.genes());
+        prop_assert_eq!(mutated.content_hash(), a.content_hash(),
+            "incremental hash failed to round-trip");
+        prop_assert_eq!(
+            a.genes() == b.genes(),
+            a.content_hash() == b.content_hash(),
+            "hash equality must coincide with gene equality"
+        );
+    }
+
+    /// The fitness memo is invisible: an engine run with the memo disabled
+    /// (capacity 0) is bit-identical, generation by generation, to one with
+    /// it enabled.
+    #[test]
+    fn engine_memo_is_invisible((a, b, seed) in chromosome_strategy()) {
+        struct Balance;
+        impl Problem for Balance {
+            fn fitness(&self, c: &Chromosome) -> f64 {
+                1.0 / (1.0 + self.makespan(c))
+            }
+            fn makespan(&self, c: &Chromosome) -> f64 {
+                c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+            }
+        }
+        let sel = RouletteWheel;
+        let cx = CycleCrossover;
+        let mu = SwapMutation;
+        let run = |memo_capacity: usize| {
+            let engine = GaEngine::new(&sel, &cx, &mu, GaConfig {
+                population_size: 8,
+                max_generations: 10,
+                memo_capacity,
+                ..GaConfig::default()
+            });
+            let mut rng = Prng::seed_from(seed);
+            engine.run(&Balance, vec![a.clone(), b.clone()], None, &mut rng)
+        };
+        let off = run(0);
+        let on = run(dts_ga::DEFAULT_MEMO_CAPACITY);
+        prop_assert_eq!(&on.best, &off.best);
+        prop_assert_eq!(on.best_fitness.to_bits(), off.best_fitness.to_bits());
+        prop_assert_eq!(on.best_makespan.to_bits(), off.best_makespan.to_bits());
+        prop_assert_eq!(on.generations, off.generations);
+        for (sa, sb) in on.history.iter().zip(&off.history) {
+            prop_assert_eq!(sa.best_fitness.to_bits(), sb.best_fitness.to_bits());
+            prop_assert_eq!(sa.mean_fitness.to_bits(), sb.mean_fitness.to_bits());
+        }
+        prop_assert_eq!(off.memo_hits, 0, "capacity 0 must never hit");
+    }
+
     #[test]
     fn engine_run_is_evaluator_invariant((a, b, seed) in chromosome_strategy()) {
         struct Balance;

@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 
 use dts_distributions::{Prng, Rng};
 use dts_ga::{
-    Chromosome, CycleCrossover, GaConfig, GaEngine, Problem, RouletteWheel, SwapMutation,
+    Chromosome, CycleCrossover, GaConfig, GaEngine, Gene, Problem, RouletteWheel, SwapMutation,
 };
 use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
@@ -107,6 +107,44 @@ impl<'a> ZoProblem<'a> {
     }
 }
 
+impl ZoProblem<'_> {
+    /// Per-processor completion times: `out[j] = (Lⱼ + Σ_{y→j} t_y) / Pⱼ`.
+    /// One gene walk; each queue's load accumulates in gene order (the same
+    /// add sequence the previous `assignments()`-based pass performed, so
+    /// results are bit-identical to it) and is divided once at the queue
+    /// boundary. Every incremental path below must match this bitwise.
+    fn fill_completions(&self, c: &Chromosome, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.rates.len());
+        let mut q = 0usize;
+        let mut acc = self.existing_load[0];
+        for &g in c.genes() {
+            match g {
+                Gene::Task(t) => acc += self.batch[t as usize].mflops,
+                Gene::Delim(_) => {
+                    out[q] = acc / self.rates[q].max(1e-9);
+                    q += 1;
+                    acc = self.existing_load[q];
+                }
+            }
+        }
+        out[q] = acc / self.rates[q].max(1e-9);
+    }
+
+    /// Completion time of queue `q` whose task genes start at `start`:
+    /// the same gene-order load re-sum `fill_completions` performs for
+    /// that queue, including its single trailing division.
+    fn queue_completion(&self, genes: &[Gene], q: usize, start: usize) -> f64 {
+        let mut acc = self.existing_load[q];
+        for &g in &genes[start..] {
+            match g {
+                Gene::Task(t) => acc += self.batch[t as usize].mflops,
+                Gene::Delim(_) => break,
+            }
+        }
+        acc / self.rates[q].max(1e-9)
+    }
+}
+
 impl Problem for ZoProblem<'_> {
     fn fitness(&self, c: &Chromosome) -> f64 {
         self.fitness_of_makespan(self.makespan(c))
@@ -122,22 +160,90 @@ impl Problem for ZoProblem<'_> {
 
     fn makespan(&self, c: &Chromosome) -> f64 {
         let m = self.rates.len();
-        let mut load = [0.0f64; 64];
-        let mut load_vec;
-        let load: &mut [f64] = if m <= 64 {
-            &mut load[..m]
+        let mut buf = [0.0f64; 64];
+        let mut buf_vec;
+        let out: &mut [f64] = if m <= 64 {
+            &mut buf[..m]
         } else {
-            load_vec = vec![0.0f64; m];
-            &mut load_vec
+            buf_vec = vec![0.0f64; m];
+            &mut buf_vec
         };
-        load.copy_from_slice(self.existing_load);
-        for (proc, slot) in c.assignments() {
-            load[proc] += self.batch[slot as usize].mflops;
+        self.fill_completions(c, out);
+        out.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The full walk, exporting completion times for the engine's
+    /// delta-evaluation and fitness-memo machinery.
+    fn evaluate_into(&self, c: &Chromosome, completions: &mut Vec<f64>) -> (f64, f64) {
+        completions.clear();
+        completions.resize(self.rates.len(), 0.0);
+        self.fill_completions(c, completions);
+        let ms = completions.iter().copied().fold(0.0, f64::max);
+        (self.fitness_of_makespan(ms), ms)
+    }
+
+    /// Task–task transpositions touch at most two queues; re-sum only
+    /// those (in gene order) and take the max over the updated vector.
+    /// Delimiter moves fall back to the full walk. Mirrors the PN
+    /// implementation — queue index comes from counting delimiters, since
+    /// delimiter labels carry no positional meaning.
+    fn evaluate_swap_delta(
+        &self,
+        c: &Chromosome,
+        i: usize,
+        j: usize,
+        completions: &mut [f64],
+    ) -> Option<(f64, f64)> {
+        if completions.len() != self.rates.len() || i == j {
+            return None;
         }
-        load.iter()
-            .zip(self.rates)
-            .map(|(&l, &r)| l / r.max(1e-9))
-            .fold(0.0, f64::max)
+        let genes = c.genes();
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        if !matches!(genes[lo], Gene::Task(_)) || !matches!(genes[hi], Gene::Task(_)) {
+            return None;
+        }
+        let mut q = 0usize;
+        let mut start = 0usize;
+        let (mut q_lo, mut start_lo) = (0usize, 0usize);
+        for (pos, g) in genes[..hi].iter().enumerate() {
+            if pos == lo {
+                q_lo = q;
+                start_lo = start;
+            }
+            if matches!(g, Gene::Delim(_)) {
+                q += 1;
+                start = pos + 1;
+            }
+        }
+        let (q_hi, start_hi) = (q, start);
+        completions[q_lo] = self.queue_completion(genes, q_lo, start_lo);
+        if q_hi != q_lo {
+            completions[q_hi] = self.queue_completion(genes, q_hi, start_hi);
+        }
+        let ms = completions.iter().copied().fold(0.0, f64::max);
+        Some((self.fitness_of_makespan(ms), ms))
+    }
+
+    /// Digest of the evaluation context: batch sizes, rates, and existing
+    /// loads. The fitness memo clears whenever this changes, so values
+    /// never leak between planning invocations.
+    fn epoch_key(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut x = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let mut h = mix(0x5A4F_5450_4453_3031, self.batch.len() as u64);
+        h = mix(h, self.rates.len() as u64);
+        for t in self.batch {
+            h = mix(h, t.mflops.to_bits());
+        }
+        for j in 0..self.rates.len() {
+            h = mix(h, self.rates[j].to_bits());
+            h = mix(h, self.existing_load[j].to_bits());
+        }
+        h
     }
 }
 
@@ -370,6 +476,44 @@ mod tests {
         let (f, ms) = p.evaluate(&c);
         assert_eq!(f.to_bits(), p.fitness(&c).to_bits());
         assert_eq!(ms.to_bits(), p.makespan(&c).to_bits());
+    }
+
+    #[test]
+    fn zo_swap_delta_matches_full_walk_bitwise() {
+        use dts_distributions::Rng;
+        let b = tasks(&[
+            100.0, 200.0, 50.0, 425.0, 12.5, 330.0, 77.0, 940.0, 6.0, 150.0,
+        ]);
+        let rates = [100.0, 50.0, 230.0];
+        let existing = [0.0, 50.0, 17.5];
+        let p = ZoProblem::new(&b, &rates, &existing);
+        let mut c = Chromosome::from_queues(&[vec![0, 3, 5], vec![1, 6, 8], vec![2, 4, 7, 9]]);
+        let mut completions = Vec::new();
+        p.evaluate_into(&c, &mut completions);
+        let mut rng = Prng::seed_from(0x20_5A4F);
+        let mut deltas_taken = 0u32;
+        for _ in 0..300 {
+            let len = c.genes().len();
+            let (i, j) = (rng.below(len), rng.below(len));
+            c.genes_swap(i, j);
+            let mut fresh = Vec::new();
+            let (ff, fms) = p.evaluate_into(&c, &mut fresh);
+            match p.evaluate_swap_delta(&c, i, j, &mut completions) {
+                Some((df, dms)) => {
+                    deltas_taken += 1;
+                    assert_eq!(df.to_bits(), ff.to_bits(), "fitness drifted");
+                    assert_eq!(dms.to_bits(), fms.to_bits(), "makespan drifted");
+                    for (a, b) in completions.iter().zip(&fresh) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "completions drifted");
+                    }
+                }
+                None => completions = fresh,
+            }
+        }
+        assert!(
+            deltas_taken > 50,
+            "expected mostly task–task swaps ({deltas_taken}/300)"
+        );
     }
 
     #[test]

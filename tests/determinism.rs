@@ -160,6 +160,65 @@ fn zomaya_parallel_evaluation_is_bit_identical() {
     assert_parallel_matches_serial("ZO");
 }
 
+/// The fitness memo's core guarantee: enabling or disabling the cache is
+/// observationally invisible. A cached value is exactly the value a fresh
+/// evaluation would produce (evaluation is pure and the memo is epoch-
+/// guarded), so memo {on, off} × workers {1, 4} must all yield the same
+/// schedule bit for bit, for both GA schedulers.
+fn run_once_memo(name: &str, evaluator: Evaluator, memo_capacity: usize) -> SimReport {
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let tasks = workload.generate(SEED);
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = SEED ^ 0xFACE;
+    let sched: Box<dyn Scheduler> = match name {
+        "ZO" => {
+            let mut cfg = ZoConfig::default();
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.ga.memo_capacity = memo_capacity;
+            Box::new(Zomaya::new(PROCS, cfg))
+        }
+        "PN" => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 8;
+            cfg.max_batch = 8;
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.ga.memo_capacity = memo_capacity;
+            Box::new(PnScheduler::new(PROCS, cfg))
+        }
+        other => panic!("unknown scheduler {other}"),
+    };
+    Simulation::new(cluster, tasks, sched, config)
+        .run()
+        .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
+}
+
+#[test]
+fn memo_on_off_and_worker_counts_are_bit_identical() {
+    for name in ["PN", "ZO"] {
+        let reference = run_once_memo(name, Evaluator::Serial, 0);
+        for memo_capacity in [0usize, dts::ga::DEFAULT_MEMO_CAPACITY] {
+            for evaluator in [Evaluator::Serial, Evaluator::ThreadPool { workers: 4 }] {
+                let run = run_once_memo(name, evaluator, memo_capacity);
+                assert_identical(
+                    &format!("{name}/memo={memo_capacity}/{evaluator:?}"),
+                    &reference,
+                    &run,
+                );
+            }
+        }
+    }
+}
+
 /// Warm-start lifecycle determinism: with population carry-over the GA
 /// schedulers keep state across `plan` calls (the previous batch's final
 /// population). That state is itself a pure function of the seeds, and the
