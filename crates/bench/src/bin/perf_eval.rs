@@ -38,7 +38,7 @@
 
 use std::time::Instant;
 
-use dts_bench::{env_flag, env_or};
+use dts_bench::{env_flag, env_or, host_json, HostMeta};
 use dts_core::fitness::{BatchProblem, ProcessorState};
 use dts_core::rebalance::rebalance_once;
 use dts_core::{schedule_batch, PnConfig};
@@ -129,9 +129,7 @@ fn main() {
     let m: usize = env_or("DTS_PROCS", 50);
     let full = env_flag("DTS_FULL");
     let out_path: String = env_or("DTS_OUT", "BENCH_parallel_eval.json".to_string());
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = HostMeta::probe().available_parallelism;
 
     let worker_counts = [1usize, 2, 4, 8];
     let mut shapes: Vec<(usize, usize)> = vec![(20, 200), (100, 200), (100, 1000), (500, 1000)];
@@ -243,7 +241,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"parallel_eval\",\n");
     json.push_str("  \"schema_version\": 1,\n");
-    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&host_json());
     json.push_str(&format!(
         "  \"config\": {{ \"reps\": {reps}, \"seed\": {seed}, \"procs\": {m} }},\n"
     ));
@@ -285,7 +283,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_parallel_eval.json");
     eprintln!("wrote {out_path}   (checksum {checksum:.3})");
 
-    incremental_bench(reps, seed, m, cores);
+    incremental_bench(reps, seed, m);
 }
 
 // ======================= incremental evaluation ==========================
@@ -396,7 +394,7 @@ struct IncrCell {
     memo_hits: u64,
 }
 
-fn incremental_bench(reps: usize, seed: u64, m: usize, cores: usize) {
+fn incremental_bench(reps: usize, seed: u64, m: usize) {
     let out_path: String = env_or("DTS_INCR_OUT", "BENCH_incremental_eval.json".to_string());
     let pop_size = 500usize;
     let h = 1000usize;
@@ -644,7 +642,7 @@ fn incremental_bench(reps: usize, seed: u64, m: usize, cores: usize) {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"incremental_eval\",\n");
     json.push_str("  \"schema_version\": 1,\n");
-    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&host_json());
     json.push_str(&format!(
         "  \"config\": {{ \"reps\": {reps}, \"seed\": {seed}, \"procs\": {m}, \
          \"population\": {pop_size}, \"tasks\": {h}, \"swap_mutations\": {swaps_per_gen} }},\n"

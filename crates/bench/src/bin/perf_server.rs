@@ -1,0 +1,273 @@
+//! `perf_server` — wall-clock benchmark of the online scheduling service
+//! (`dts-server`).
+//!
+//! Drives the channel front-end ([`dts_server::spawn`]) from recorded
+//! arrival traces and reports, per arrival process × plan budget:
+//!
+//! * **p50/p99 decision latency** — admission
+//!   ([`dts_server::ServiceHandle::submit`] accepted) to placement
+//!   emission, as measured by the service thread
+//!   on every [`dts_server::TimedPlacement`]. This is the batching delay
+//!   (a task admitted early in a batch waits for the batch to fill) plus
+//!   the GA plan call itself;
+//! * **placements/sec** — end-to-end service throughput, first
+//!   submission to final drain;
+//! * **queue-depth stats** — the high-water mark of the pending FCFS
+//!   queue, tasks shed by per-tenant backpressure, batches planned, GA
+//!   generations per batch, and the final per-processor queue imbalance
+//!   (no dispatcher runs, so queue depths show raw placement spread).
+//!
+//! Two plan budgets are measured: `unlimited` (every batch runs the GA to
+//! its configured generation cap — deterministic, the replay/oracle mode)
+//! and `time_limit` ([`PlanBudget::TimeLimit`] at `DTS_BUDGET_MS`) — the
+//! latency-bounded mode where the steppable engine stops the GA mid-run
+//! when the budget expires. p99 under `time_limit` is the headline: it
+//! must sit near `batch_fill_delay + DTS_BUDGET_MS` regardless of batch
+//! difficulty.
+//!
+//! Results are printed as a table and written as machine-readable JSON to
+//! `BENCH_server.json` (override with `DTS_OUT`). Latencies and
+//! throughput are wall-clock quantities — host-dependent by nature — so
+//! the JSON records the host's `available_parallelism` alongside them.
+//! Placements themselves stay deterministic under the `unlimited` budget
+//! (see `crates/server/tests/oracle.rs`).
+//!
+//! Knobs: `DTS_REPS` (default 9), `DTS_TASKS` (240), `DTS_PROCS` (10),
+//! `DTS_BATCH` (30), `DTS_GENS` (300), `DTS_BUDGET_MS` (5),
+//! `DTS_TENANTS` (4), `DTS_SEED`, `DTS_OUT`.
+
+use std::time::Instant;
+
+use dts_bench::{env_or, host_json};
+use dts_core::PnConfig;
+use dts_model::{ArrivalProcess, SizeDistribution, WorkloadSpec};
+use dts_server::{
+    spawn, PlanBudget, ProcessorProfile, ServerConfig, ServerStats, TenantId, TimedPlacement,
+};
+use dts_sim::arrivals::ArrivalTrace;
+
+/// One measured cell: arrival process × plan budget, over `DTS_REPS`
+/// service runs.
+struct Cell {
+    arrival: &'static str,
+    budget: &'static str,
+    p50_latency_ns: u128,
+    p99_latency_ns: u128,
+    max_latency_ns: u128,
+    placements_per_sec: f64,
+    stats: ServerStats,
+    /// Final per-processor queue depths, min and max across the fleet.
+    queue_depth_min: usize,
+    queue_depth_max: usize,
+}
+
+fn percentile(sorted: &[u128], pct: usize) -> u128 {
+    assert!(!sorted.is_empty());
+    sorted[((sorted.len() * pct) / 100).min(sorted.len() - 1)]
+}
+
+fn median_f64(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    samples[samples.len() / 2]
+}
+
+/// One full service run: spawn, submit the whole trace, drain, shutdown.
+/// Returns the timed placements, the final stats, and the elapsed
+/// wall-clock from first submission to final drain.
+fn run_once(
+    trace: &ArrivalTrace,
+    config: ServerConfig,
+    tenants: usize,
+) -> (Vec<TimedPlacement>, ServerStats, f64) {
+    let (handle, join) = spawn(config);
+    let mut placements = Vec::with_capacity(trace.len());
+    let t0 = Instant::now();
+    for (i, task) in trace.tasks().iter().enumerate() {
+        let tenant = TenantId((i % tenants) as u16);
+        handle
+            .submit(tenant, task.mflops, task.arrival.seconds())
+            .expect("capacity sized for the trace: nothing shed");
+    }
+    placements.extend(handle.drain());
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = handle.stats();
+    placements.extend(handle.shutdown());
+    join.join().expect("service thread exits cleanly");
+    (placements, stats, elapsed)
+}
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 9);
+    let tasks: usize = env_or("DTS_TASKS", 240);
+    let procs: usize = env_or("DTS_PROCS", 10);
+    let batch: usize = env_or("DTS_BATCH", 30);
+    let gens: u32 = env_or("DTS_GENS", 300);
+    let budget_ms: u64 = env_or("DTS_BUDGET_MS", 5);
+    let tenants: usize = env_or("DTS_TENANTS", 4);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let out_path: String = env_or("DTS_OUT", "BENCH_server.json".to_string());
+
+    // The paper's task mix on a modest heterogeneous fleet; rates span
+    // 2:1 so placement spread (queue-depth imbalance) is meaningful.
+    let sizes = SizeDistribution::Normal {
+        mean: 1000.0,
+        variance: 9.0e5,
+    };
+    let profiles: Vec<ProcessorProfile> = (0..procs)
+        .map(|i| ProcessorProfile {
+            rate: 75.0 + 75.0 * (i as f64 + 0.5) / procs as f64,
+            comm_cost: 0.1,
+        })
+        .collect();
+    let arrivals: [(&'static str, ArrivalProcess); 2] = [
+        (
+            "poisson_stream",
+            ArrivalProcess::PoissonStream {
+                mean_interarrival: 1.0,
+            },
+        ),
+        (
+            "uniform_over",
+            ArrivalProcess::UniformOver { window: 200.0 },
+        ),
+    ];
+    let budgets: [(&'static str, PlanBudget); 2] = [
+        ("unlimited", PlanBudget::Unlimited),
+        (
+            "time_limit",
+            PlanBudget::TimeLimit(std::time::Duration::from_millis(budget_ms)),
+        ),
+    ];
+
+    eprintln!(
+        "perf_server: {} arrivals × {} budgets, {reps} reps, {tasks} tasks, \
+         {procs} procs, batch {batch}, gens ≤ {gens}, time budget {budget_ms}ms, \
+         {tenants} tenants, seed {seed}",
+        arrivals.len(),
+        budgets.len()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:>14} {:>10} {:>10} {:>10} {:>12} {:>8} {:>10} {:>9}",
+        "arrival", "budget", "p50_ms", "p99_ms", "place/sec", "max_pend", "gens/batch", "depth"
+    );
+    for (arrival_label, arrival) in &arrivals {
+        let trace = ArrivalTrace::record(
+            &WorkloadSpec {
+                count: tasks,
+                sizes: sizes.clone(),
+                arrival: arrival.clone(),
+            },
+            seed,
+        )
+        .expect("generated workloads satisfy the trace invariants");
+
+        for (budget_label, budget) in &budgets {
+            let mut pn = PnConfig::default();
+            pn.ga.max_generations = gens;
+            let config = ServerConfig {
+                procs: profiles.clone(),
+                pn,
+                tenants,
+                // Sized so backpressure never fires: the pending queue
+                // tops out near batch_size under eager planning.
+                tenant_capacity: batch + tasks.div_ceil(tenants),
+                batch_size: batch,
+                budget: *budget,
+            };
+
+            let mut latencies_ns: Vec<u128> = Vec::with_capacity(reps * tasks);
+            let mut throughput: Vec<f64> = Vec::with_capacity(reps);
+            let mut last_stats = ServerStats::default();
+            let mut depth_min = usize::MAX;
+            let mut depth_max = 0usize;
+            for _ in 0..reps {
+                let (placements, stats, elapsed) = run_once(&trace, config.clone(), tenants);
+                assert_eq!(placements.len(), tasks, "every submission placed");
+                latencies_ns.extend(placements.iter().map(|p| p.decision_latency.as_nanos()));
+                throughput.push(tasks as f64 / elapsed.max(1e-9));
+                let mut depths = vec![0usize; procs];
+                for p in &placements {
+                    depths[p.event.proc.0 as usize] += 1;
+                }
+                depth_min = depth_min.min(*depths.iter().min().expect("non-empty fleet"));
+                depth_max = depth_max.max(*depths.iter().max().expect("non-empty fleet"));
+                last_stats = stats;
+            }
+            latencies_ns.sort_unstable();
+            let cell = Cell {
+                arrival: arrival_label,
+                budget: budget_label,
+                p50_latency_ns: percentile(&latencies_ns, 50),
+                p99_latency_ns: percentile(&latencies_ns, 99),
+                max_latency_ns: *latencies_ns.last().expect("at least one placement"),
+                placements_per_sec: median_f64(&mut throughput),
+                stats: last_stats,
+                queue_depth_min: depth_min,
+                queue_depth_max: depth_max,
+            };
+            println!(
+                "{:>14} {:>10} {:>10.2} {:>10.2} {:>12.1} {:>8} {:>10.1} {:>4}-{:<4}",
+                cell.arrival,
+                cell.budget,
+                cell.p50_latency_ns as f64 / 1e6,
+                cell.p99_latency_ns as f64 / 1e6,
+                cell.placements_per_sec,
+                cell.stats.max_pending,
+                cell.stats.generations as f64 / cell.stats.batches.max(1) as f64,
+                cell.queue_depth_min,
+                cell.queue_depth_max,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"server\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&host_json());
+    json.push_str(&format!(
+        "  \"config\": {{ \"reps\": {reps}, \"tasks\": {tasks}, \"procs\": {procs}, \
+         \"batch\": {batch}, \"max_generations\": {gens}, \"time_budget_ms\": {budget_ms}, \
+         \"tenants\": {tenants}, \"seed\": {seed} }},\n"
+    ));
+    json.push_str(
+        "  \"note\": \"decision latency = admission to placement emission, pooled over all \
+         placements of all reps (batching delay + GA plan call); placements_per_sec = median \
+         over reps of tasks / (first submit to final drain); queue depth = pending high-water \
+         mark plus final per-processor placement spread (no dispatcher runs). Latencies and \
+         throughput are wall-clock (host-dependent); placements under the unlimited budget are \
+         deterministic per seed\",\n",
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"arrival\": \"{}\", \"budget\": \"{}\", \
+             \"p50_decision_latency_ns\": {}, \"p99_decision_latency_ns\": {}, \
+             \"max_decision_latency_ns\": {}, \"placements_per_sec\": {:.1}, \
+             \"queue_depth\": {{ \"max_pending\": {}, \"shed\": {}, \"batches\": {}, \
+             \"generations_per_batch\": {:.1}, \"final_proc_depth_min\": {}, \
+             \"final_proc_depth_max\": {} }} }}{}\n",
+            c.arrival,
+            c.budget,
+            c.p50_latency_ns,
+            c.p99_latency_ns,
+            c.max_latency_ns,
+            c.placements_per_sec,
+            c.stats.max_pending,
+            c.stats.shed,
+            c.stats.batches,
+            c.stats.generations as f64 / c.stats.batches.max(1) as f64,
+            c.queue_depth_min,
+            c.queue_depth_max,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_server.json");
+    eprintln!("wrote {out_path}");
+}

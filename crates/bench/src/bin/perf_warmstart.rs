@@ -27,7 +27,7 @@
 //! `DTS_WARM_ELITES` (5), `DTS_SEED`, `DTS_THREADS`, `DTS_EVAL_WORKERS`,
 //! `DTS_OUT`.
 
-use dts_bench::{env_or, BuildOptions, SchedulerKind};
+use dts_bench::{env_or, host_json, BuildOptions, SchedulerKind};
 use dts_core::SeedStrategy;
 use dts_model::{ArrivalProcess, ClusterSpec, SizeDistribution, WorkloadSpec};
 use dts_sim::{run_replicated, SimConfig};
@@ -178,14 +178,11 @@ fn main() {
     }
 
     // ---- JSON ------------------------------------------------------------
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"warm_start\",\n");
     json.push_str("  \"schema_version\": 1,\n");
-    json.push_str(&format!("  \"host\": {{ \"cores\": {cores} }},\n"));
+    json.push_str(&host_json());
     json.push_str(&format!(
         "  \"config\": {{ \"reps\": {reps}, \"tasks\": {tasks}, \"procs\": {procs}, \
          \"batch\": {batch}, \"max_generations\": {gens}, \"plateau_generations\": {plateau}, \

@@ -25,6 +25,6 @@ pub mod report;
 pub mod roster;
 pub mod scenarios;
 
-pub use report::{write_csv, Table};
+pub use report::{host_json, write_csv, HostMeta, Table};
 pub use roster::{BuildOptions, SchedulerKind, ALL_SCHEDULERS};
 pub use scenarios::{env_flag, env_or, Scenario};

@@ -98,6 +98,7 @@ pub fn schedule_batch_warm(
         &SwapMutation,
         warm_seeds,
         max_generations_override,
+        None,
         seed,
     )
 }
@@ -124,12 +125,18 @@ pub fn schedule_batch_with_ops(
         mutation,
         &[],
         max_generations_override,
+        None,
         seed,
     )
 }
 
+/// The shared one-batch GA runner behind every public entry point
+/// ([`schedule_batch`] and friends here, [`crate::plan::plan_batch`] for
+/// budgeted calls). `time_budget`, when set, stops the run at the first
+/// generation boundary past the deadline
+/// ([`dts_ga::StopReason::TimeBudget`]).
 #[allow(clippy::too_many_arguments)]
-fn run_batch_ga(
+pub(crate) fn run_batch_ga(
     batch: &[Task],
     procs: &[ProcessorState],
     config: &PnConfig,
@@ -138,6 +145,7 @@ fn run_batch_ga(
     mutation: &dyn MutationOp,
     warm_seeds: &[Chromosome],
     max_generations_override: Option<u32>,
+    time_budget: Option<std::time::Duration>,
     seed: u64,
 ) -> BatchOutcome {
     assert!(!batch.is_empty(), "cannot schedule an empty batch");
@@ -166,7 +174,13 @@ fn run_batch_ga(
     }
 
     let engine = GaEngine::new(selection, crossover, mutation, config.ga.clone());
-    let ga = engine.run(&problem, initial, max_generations_override, &mut rng);
+    let ga = engine.run_budgeted(
+        &problem,
+        initial,
+        max_generations_override,
+        time_budget,
+        &mut rng,
+    );
 
     BatchOutcome {
         queues: ga.best.to_queues(),

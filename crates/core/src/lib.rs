@@ -32,6 +32,9 @@
 //!   [`dts_model::Scheduler`] implementation driven by the simulator.
 //! * [`batch_run`] — a standalone one-batch GA run (used directly by the
 //!   Fig. 3 / Fig. 4 experiments and the benches).
+//! * [`plan`] — the unified plan-call entry point: one request struct,
+//!   an explicit latency budget (generations, or wall-clock for the
+//!   online server), warm seeds.
 //!
 //! # Quickstart
 //!
@@ -63,6 +66,7 @@ pub mod batching;
 pub mod config;
 pub mod fitness;
 pub mod init;
+pub mod plan;
 pub mod rebalance;
 pub mod scheduler;
 pub mod time_model;
@@ -74,5 +78,6 @@ pub use batch_run::{
 pub use config::{PnConfig, SeedStrategy};
 pub use fitness::{BatchProblem, ProcessorState};
 pub use init::remap_elite;
+pub use plan::{plan_batch, PlanBudget, PlanRequest};
 pub use scheduler::PnScheduler;
 pub use time_model::GaTimeModel;

@@ -1,0 +1,226 @@
+//! The unified plan-call entry point.
+//!
+//! Every caller that wants "schedule this batch" — the simulator-driven
+//! [`crate::scheduler::PnScheduler`], the online `dts-server`, the figure
+//! binaries — ultimately needs the same four inputs (batch, processor
+//! states, warm seeds, seed) plus a *budget*: how much search latency the
+//! caller can afford. [`plan_batch`] packages that as one call with an
+//! explicit [`PlanBudget`], built on the same internal runner as the
+//! [`crate::batch_run`] family, so the entry points can never drift apart.
+//!
+//! The budget kinds map to the two latency regimes of the system:
+//!
+//! * [`PlanBudget::Generations`] — a *deterministic* bound, used wherever
+//!   reproducibility matters (the simulator's §3.4 idle-horizon budget,
+//!   the server's replay mode). Same seed ⇒ bit-identical plan on any
+//!   host.
+//! * [`PlanBudget::TimeLimit`] — a *wall-clock* bound ("best schedule in
+//!   ≤ X ms"), used by the online server for live traffic where decision
+//!   latency is an SLO. The generation count then depends on host speed —
+//!   the one deliberate exception to the determinism contract.
+
+use std::time::Duration;
+
+use dts_ga::Chromosome;
+use dts_model::Task;
+
+use crate::batch_run::{run_batch_ga, BatchOutcome};
+use crate::config::PnConfig;
+use crate::fitness::ProcessorState;
+
+use dts_ga::{CycleCrossover, RouletteWheel, SwapMutation};
+
+/// How much search a plan call may spend before it must return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanBudget {
+    /// No extra cap beyond `config.ga.max_generations` (and its early
+    /// stops). Deterministic.
+    Unlimited,
+    /// At most this many generations, further capped by
+    /// `config.ga.max_generations` — the §3.4 processor-idle budget.
+    /// Deterministic.
+    Generations(u32),
+    /// Stop at the first generation boundary on or after the deadline
+    /// (`StopReason::TimeBudget`), returning the best schedule found so
+    /// far. Host-speed dependent — **not** deterministic.
+    TimeLimit(Duration),
+}
+
+impl PlanBudget {
+    /// The generation cap this budget implies, if any.
+    fn generation_cap(&self) -> Option<u32> {
+        match self {
+            PlanBudget::Generations(g) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// The wall-clock deadline this budget implies, if any.
+    fn time_limit(&self) -> Option<Duration> {
+        match self {
+            PlanBudget::TimeLimit(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+/// One batch-scheduling request, ready to hand to [`plan_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    /// The tasks to place, one chromosome gene each.
+    pub batch: &'a [Task],
+    /// Estimated rate, existing load and communication cost per
+    /// processor.
+    pub procs: &'a [ProcessorState],
+    /// Elites carried over from the previous plan call, already remapped
+    /// onto this batch's shape ([`crate::init::remap_elite`]), best
+    /// first. Empty for a fresh run; mismatched shapes are skipped.
+    pub warm_seeds: &'a [Chromosome],
+    /// The latency budget for this call.
+    pub budget: PlanBudget,
+    /// Seed of the per-call RNG stream (drives population init and all
+    /// GA operators).
+    pub seed: u64,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// A fresh, unbudgeted request — the common base the builder-style
+    /// setters refine.
+    pub fn new(batch: &'a [Task], procs: &'a [ProcessorState], seed: u64) -> Self {
+        Self {
+            batch,
+            procs,
+            warm_seeds: &[],
+            budget: PlanBudget::Unlimited,
+            seed,
+        }
+    }
+
+    /// Sets the warm-start seeds.
+    pub fn with_warm_seeds(mut self, seeds: &'a [Chromosome]) -> Self {
+        self.warm_seeds = seeds;
+        self
+    }
+
+    /// Sets the latency budget.
+    pub fn with_budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Runs the PN genetic algorithm for one plan request under its budget.
+///
+/// Exactly the [`crate::batch_run::schedule_batch_warm`] pipeline (paper
+/// operators: roulette selection, cycle crossover, swap mutation) with
+/// the budget applied; a [`PlanBudget::Generations`] request is
+/// bit-identical to `schedule_batch_warm` with the same cap.
+pub fn plan_batch(req: &PlanRequest<'_>, config: &PnConfig) -> BatchOutcome {
+    run_batch_ga(
+        req.batch,
+        req.procs,
+        config,
+        &RouletteWheel,
+        &CycleCrossover,
+        &SwapMutation,
+        req.warm_seeds,
+        req.budget.generation_cap(),
+        req.budget.time_limit(),
+        req.seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch_run::{schedule_batch, schedule_batch_warm};
+    use dts_ga::StopReason;
+    use dts_model::{SimTime, TaskId};
+
+    fn batch(sizes: &[f64]) -> Vec<Task> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| Task::new(TaskId(i as u32), m, SimTime::ZERO))
+            .collect()
+    }
+
+    fn procs(rates: &[f64]) -> Vec<ProcessorState> {
+        rates
+            .iter()
+            .map(|&rate| ProcessorState {
+                rate,
+                existing_load_mflops: 0.0,
+                comm_cost: 0.0,
+            })
+            .collect()
+    }
+
+    fn quick_config(max_gens: u32) -> PnConfig {
+        let mut c = PnConfig::default();
+        c.ga.max_generations = max_gens;
+        c
+    }
+
+    #[test]
+    fn unlimited_plan_matches_schedule_batch() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0, 75.0]);
+        let p = procs(&[100.0, 150.0]);
+        let cfg = quick_config(60);
+        let direct = schedule_batch(&b, &p, &cfg, 9);
+        let planned = plan_batch(&PlanRequest::new(&b, &p, 9), &cfg);
+        assert_eq!(planned.queues, direct.queues);
+        assert_eq!(
+            planned.best_makespan.to_bits(),
+            direct.best_makespan.to_bits()
+        );
+        assert_eq!(planned.generations, direct.generations);
+    }
+
+    #[test]
+    fn generation_budget_matches_warm_capped_run() {
+        let b = batch(&[100.0, 200.0, 50.0, 300.0, 75.0, 25.0]);
+        let p = procs(&[100.0, 150.0, 80.0]);
+        let cfg = quick_config(500);
+        let seeds = schedule_batch(&b, &p, &quick_config(10), 1)
+            .ga
+            .final_population;
+        let direct = schedule_batch_warm(&b, &p, &cfg, &seeds, Some(7), 33);
+        let planned = plan_batch(
+            &PlanRequest::new(&b, &p, 33)
+                .with_warm_seeds(&seeds)
+                .with_budget(PlanBudget::Generations(7)),
+            &cfg,
+        );
+        assert_eq!(planned.queues, direct.queues);
+        assert_eq!(
+            planned.best_makespan.to_bits(),
+            direct.best_makespan.to_bits()
+        );
+        assert_eq!(planned.generations, 7);
+    }
+
+    #[test]
+    fn time_limited_plan_stops_within_budget() {
+        let b = batch(&[100.0; 40]);
+        let p = procs(&[100.0, 150.0, 80.0, 120.0]);
+        let cfg = quick_config(u32::MAX);
+        let budget = Duration::from_millis(15);
+        let started = std::time::Instant::now();
+        let planned = plan_batch(
+            &PlanRequest::new(&b, &p, 3).with_budget(PlanBudget::TimeLimit(budget)),
+            &cfg,
+        );
+        let elapsed = started.elapsed();
+        assert_eq!(planned.ga.stop_reason, StopReason::TimeBudget);
+        assert!(planned.generations > 0);
+        assert!(
+            elapsed < budget + Duration::from_millis(200),
+            "plan call took {elapsed:?} against a {budget:?} budget"
+        );
+        // The plan is still complete and valid.
+        let mut seen: Vec<u32> = planned.queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+}

@@ -182,6 +182,17 @@ pub struct GaConfig {
     /// budget: whichever limit is hit first stops the run. `None` (the
     /// default) disables the plateau check; `Some(0)` is rejected.
     pub plateau_generations: Option<u32>,
+    /// Generations that must evolve before the *early* stops (target
+    /// makespan, plateau) may fire. A warm-started run whose seeded elite
+    /// already sits at the target — or at a plateau the carried population
+    /// cannot immediately improve on — would otherwise return at
+    /// generation 0 without giving the GA a chance to refine the seeds;
+    /// this floor guarantees a minimum amount of evolution. Hard caps
+    /// ([`GaConfig::max_generations`], the §3.4 generation override, and
+    /// time budgets) still bind first: they bound *latency*, which always
+    /// wins over extra search. Default 0 (early stops fire immediately,
+    /// the paper's behaviour).
+    pub min_generations: u32,
     /// Record per-generation statistics (needed by Fig. 3; costs memory).
     pub record_history: bool,
     /// How fitness batches are executed ([`Evaluator::Serial`] or a scoped
@@ -208,6 +219,7 @@ impl Default for GaConfig {
             max_generations: 1000,
             target_makespan: None,
             plateau_generations: None,
+            min_generations: 0,
             record_history: false,
             evaluator: Evaluator::Serial,
             memo_capacity: DEFAULT_MEMO_CAPACITY,
@@ -226,6 +238,13 @@ pub enum StopReason {
     /// [`GaConfig::plateau_generations`] consecutive generations passed
     /// without the best makespan improving.
     Plateau,
+    /// The wall-clock budget of a time-budgeted run
+    /// ([`GaEngine::run_budgeted`], or a driver calling
+    /// [`GaRun::stop_now`]) expired. The result is still the best schedule
+    /// found so far — "best schedule in ≤ X ms". Note that generation
+    /// counts of time-budgeted runs depend on host speed; they are the one
+    /// deliberate exception to the bit-identical determinism contract.
+    TimeBudget,
 }
 
 /// Per-generation statistics, recorded when
@@ -373,6 +392,11 @@ impl<'a> GaEngine<'a> {
     /// `max_generations_override`, when given, further caps the generation
     /// count — the PN scheduler uses it to stop before a processor goes
     /// idle (§3.4).
+    ///
+    /// Internally this is exactly [`GaEngine::start`] followed by
+    /// [`GaRun::step`] until a stopping condition fires — the one-shot and
+    /// iterator-driven forms are bit-identical (`stepped_run_matches_run`
+    /// locks this in).
     pub fn run<P: Problem + Sync>(
         &self,
         problem: &P,
@@ -380,22 +404,92 @@ impl<'a> GaEngine<'a> {
         max_generations_override: Option<u32>,
         rng: &mut Prng,
     ) -> GaResult {
-        assert!(!initial.is_empty(), "initial population must be non-empty");
+        self.run_budgeted(problem, initial, max_generations_override, None, rng)
+    }
+
+    /// [`GaEngine::run`] under a wall-clock budget: the run stops with
+    /// [`StopReason::TimeBudget`] at the first generation boundary on or
+    /// after the deadline, returning the best schedule found so far
+    /// ("best schedule in ≤ X ms"). The budget is checked *before* each
+    /// generation, so a plan call overshoots by at most one generation's
+    /// work. `None` disables the deadline and is exactly [`GaEngine::run`].
+    ///
+    /// Generation counts of time-budgeted runs depend on host speed — this
+    /// is the one deliberate exception to the determinism contract, so
+    /// callers that need reproducible plans (the replay oracle) must use a
+    /// generation cap instead.
+    pub fn run_budgeted<P: Problem + Sync>(
+        &self,
+        problem: &P,
+        initial: Vec<Chromosome>,
+        max_generations_override: Option<u32>,
+        time_budget: Option<std::time::Duration>,
+        rng: &mut Prng,
+    ) -> GaResult {
         // The evaluation context (serial, or a scoped worker pool that
         // lives for the whole run) wraps the generation loop.
         self.config.evaluator.with_context(problem, |eval| {
-            self.run_with(problem, eval, &initial, max_generations_override, rng)
+            let deadline = time_budget.map(|b| std::time::Instant::now() + b);
+            let mut run = self.start(problem, eval, &initial, max_generations_override);
+            while run.stopped().is_none() {
+                if let Some(d) = deadline {
+                    if std::time::Instant::now() >= d {
+                        run.stop_now(StopReason::TimeBudget);
+                        break;
+                    }
+                }
+                run.step(eval, rng);
+            }
+            run.into_result()
         })
     }
 
-    fn run_with<P: Problem>(
-        &self,
-        problem: &P,
+    /// Begins a resumable run: evaluates the initial population and returns
+    /// the live [`GaRun`], which advances one generation per
+    /// [`GaRun::step`] call. This is the engine's steppable form — the
+    /// building block for time-budgeted planning and (eventually)
+    /// island-model migration, where a driver interleaves generations of
+    /// several runs.
+    ///
+    /// `eval` must come from `self.config().evaluator.with_context(..)`
+    /// (or any other [`BatchEval`] that evaluates exactly like the
+    /// problem); the caller keeps the context alive for the whole run:
+    ///
+    /// ```
+    /// use dts_ga::{Chromosome, GaConfig, GaEngine, Problem, StopReason};
+    /// use dts_ga::{CycleCrossover, RouletteWheel, SwapMutation};
+    /// use dts_distributions::Prng;
+    ///
+    /// struct Balance;
+    /// impl Problem for Balance {
+    ///     fn fitness(&self, c: &Chromosome) -> f64 { 1.0 / (1.0 + self.makespan(c)) }
+    ///     fn makespan(&self, c: &Chromosome) -> f64 {
+    ///         c.queue_lengths().into_iter().max().unwrap_or(0) as f64
+    ///     }
+    /// }
+    ///
+    /// let config = GaConfig { max_generations: 10, ..GaConfig::default() };
+    /// let engine = GaEngine::new(&RouletteWheel, &CycleCrossover, &SwapMutation, config);
+    /// let initial = vec![Chromosome::from_queues(&[vec![0, 1, 2, 3], vec![]])];
+    /// let mut rng = Prng::seed_from(7);
+    /// let result = engine.config().evaluator.with_context(&Balance, |eval| {
+    ///     let mut run = engine.start(&Balance, eval, &initial, None);
+    ///     while run.stopped().is_none() {
+    ///         run.step(eval, &mut rng); // a driver may do work between steps
+    ///     }
+    ///     run.into_result()
+    /// });
+    /// assert_eq!(result.stop_reason, StopReason::MaxGenerations);
+    /// assert_eq!(result.generations, 10);
+    /// ```
+    pub fn start<'r, P: Problem>(
+        &'r self,
+        problem: &'r P,
         eval: &dyn BatchEval,
         initial: &[Chromosome],
         max_generations_override: Option<u32>,
-        rng: &mut Prng,
-    ) -> GaResult {
+    ) -> GaRun<'r, P> {
+        assert!(!initial.is_empty(), "initial population must be non-empty");
         let pop_size = self.config.population_size;
         let max_gens = self
             .config
@@ -417,232 +511,47 @@ impl<'a> GaEngine<'a> {
             let i = e.index;
             init_slots[i] = Some(Individual::from_eval(e));
         }
-        let mut pop: Vec<Individual> = init_slots
+        let pop: Vec<Individual> = init_slots
             .into_iter()
             .map(|slot| slot.expect("every initial slot evaluated"))
             .collect();
 
-        let mut history = Vec::new();
-        let (mut best_idx, _) = Self::best_of(&pop);
-        let mut best = pop[best_idx].chrom.clone();
-        let mut best_makespan = pop[best_idx].makespan;
-        let mut best_fitness = pop[best_idx].fitness;
+        let (best_idx, _) = Self::best_of(&pop);
+        let best = pop[best_idx].chrom.clone();
+        let best_makespan = pop[best_idx].makespan;
+        let best_fitness = pop[best_idx].fitness;
 
-        let record = |gen: u32, pop: &[Individual], history: &mut Vec<GenStats>| {
-            if self.config.record_history {
-                let best_ms = pop.iter().map(|i| i.makespan).fold(f64::INFINITY, f64::min);
-                let best_f = pop.iter().map(|i| i.fitness).fold(0.0f64, f64::max);
-                let mean_f = pop.iter().map(|i| i.fitness).sum::<f64>() / pop.len() as f64;
-                history.push(GenStats {
-                    generation: gen,
-                    best_makespan: best_ms,
-                    best_fitness: best_f,
-                    mean_fitness: mean_f,
-                });
-            }
-        };
-        record(0, &pop, &mut history);
-
-        let mut generations = 0u32;
-        let mut stop_reason = StopReason::MaxGenerations;
-
-        if let Some(target) = self.config.target_makespan {
-            if best_makespan <= target {
-                stop_reason = StopReason::TargetReached;
-                return GaResult {
-                    best,
-                    best_makespan,
-                    best_fitness,
-                    generations,
-                    stop_reason,
-                    history,
-                    final_population: Self::ranked_population(pop),
-                    memo_hits: memo.hits(),
-                    memo_misses: memo.misses(),
-                };
-            }
-        }
-
-        // Consecutive generations without a best-makespan improvement
-        // (drives the optional plateau stop).
-        let mut stale_generations = 0u32;
-        let mut fitness_buf: Vec<f64> = Vec::with_capacity(pop_size);
-        while generations < max_gens {
-            generations += 1;
-
-            fitness_buf.clear();
-            fitness_buf.extend(pop.iter().map(|i| i.fitness));
-
-            // --- breed: elitism + selection + crossover (draws RNG) ----
-            // Clones keep their cached evaluation; fresh offspring are
-            // queued with their population index for batch evaluation.
-            let mut next: Vec<Option<Individual>> = Vec::with_capacity(pop_size);
-            let mut offspring: Vec<(usize, Chromosome)> = Vec::new();
-            if self.config.elitism > 0 {
-                let mut order: Vec<usize> = (0..pop.len()).collect();
-                order.sort_by(|&a, &b| {
-                    // Fitness descending, then makespan ascending: the
-                    // deterministic tie-break keeps elitism meaningful
-                    // even when many near-optimal schedules share a
-                    // fitness value. Remaining ties keep index order (the
-                    // sort is stable).
-                    pop[b]
-                        .fitness
-                        .partial_cmp(&pop[a].fitness)
-                        .expect("finite fitness")
-                        .then_with(|| {
-                            pop[a]
-                                .makespan
-                                .partial_cmp(&pop[b].makespan)
-                                .expect("finite makespan")
-                        })
-                });
-                for &i in order.iter().take(self.config.elitism) {
-                    next.push(Some(Individual {
-                        chrom: pop[i].chrom.clone(),
-                        fitness: pop[i].fitness,
-                        makespan: pop[i].makespan,
-                        completions: pop[i].completions.clone(),
-                    }));
-                }
-            }
-            while next.len() < pop_size {
-                let pa = self.selection.select(&fitness_buf, rng);
-                let pb = self.selection.select(&fitness_buf, rng);
-                if rng.chance(self.config.crossover_rate) {
-                    let (ca, cb) = self.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
-                    offspring.push((next.len(), ca));
-                    next.push(None);
-                    if next.len() < pop_size {
-                        offspring.push((next.len(), cb));
-                        next.push(None);
-                    }
-                } else {
-                    next.push(Some(Individual {
-                        chrom: pop[pa].chrom.clone(),
-                        fitness: pop[pa].fitness,
-                        makespan: pop[pa].makespan,
-                        completions: pop[pa].completions.clone(),
-                    }));
-                }
-            }
-
-            // --- evaluate the fresh offspring, write back by index -----
-            for e in eval_indexed(eval, &mut memo, offspring) {
-                let i = e.index;
-                next[i] = Some(Individual::from_eval(e));
-            }
-            pop = next
-                .into_iter()
-                .map(|slot| slot.expect("every slot bred or evaluated"))
-                .collect();
-
-            // --- random mutation (draws RNG) ---------------------------
-            // A transposition on an individual with valid completion
-            // times is delta-evaluated on the spot: only the affected
-            // processors' sums are recomputed. Anything else marks the
-            // individual dirty for a full batched re-evaluation. Once
-            // dirty, always dirty — the cached completions no longer
-            // describe the chromosome, so later swaps cannot delta off
-            // them.
-            let mut dirty: Vec<usize> = Vec::new();
-            for _ in 0..self.config.mutations_per_generation {
-                let idx = rng.below(pop.len());
-                let edit = self.mutation.mutate_tracked(&mut pop[idx].chrom, rng);
-                let already_dirty = dirty.contains(&idx);
-                let delta = match edit {
-                    GeneEdit::Unchanged => continue,
-                    GeneEdit::Swap { i, j } if !already_dirty => {
-                        let ind = &mut pop[idx];
-                        problem.evaluate_swap_delta(&ind.chrom, i, j, &mut ind.completions)
-                    }
-                    _ => None,
-                };
-                match delta {
-                    Some((fitness, makespan)) => {
-                        let ind = &mut pop[idx];
-                        ind.fitness = fitness;
-                        ind.makespan = makespan;
-                        // The delta result is bit-identical to a full
-                        // evaluation, so it is safe to cache.
-                        memo.insert(&ind.chrom, fitness, makespan, &ind.completions);
-                    }
-                    None if !already_dirty => dirty.push(idx),
-                    None => {}
-                }
-            }
-            if !dirty.is_empty() {
-                // Only dirty individuals are re-evaluated; the rest keep
-                // their incrementally maintained values. The dirty
-                // chromosomes are moved out (a trivial placeholder takes
-                // their slot) and moved back with their evaluation — no
-                // clone in the hot loop.
-                dirty.sort_unstable();
-                let jobs: Vec<(usize, Chromosome)> = dirty
-                    .iter()
-                    .map(|&i| {
-                        let chrom = std::mem::replace(
-                            &mut pop[i].chrom,
-                            Chromosome::from_queues(&[Vec::new()]),
-                        );
-                        (i, chrom)
-                    })
-                    .collect();
-                for e in eval_indexed(eval, &mut memo, jobs) {
-                    let i = e.index;
-                    pop[i] = Individual::from_eval(e);
-                }
-            }
-
-            // --- local improvement (rebalancing heuristic, §3.5) ------
-            for ind in &mut pop {
-                if let Some((fitness, makespan)) =
-                    problem.improve(&mut ind.chrom, ind.fitness, &mut ind.completions, rng)
-                {
-                    ind.fitness = fitness;
-                    ind.makespan = makespan;
-                }
-            }
-
-            // --- track the best schedule found so far ------------------
-            let (idx, _) = Self::best_of(&pop);
-            best_idx = idx;
-            if pop[best_idx].makespan < best_makespan {
-                best = pop[best_idx].chrom.clone();
-                best_makespan = pop[best_idx].makespan;
-                best_fitness = pop[best_idx].fitness;
-                stale_generations = 0;
-            } else {
-                stale_generations += 1;
-            }
-
-            record(generations, &pop, &mut history);
-
-            if let Some(target) = self.config.target_makespan {
-                if best_makespan <= target {
-                    stop_reason = StopReason::TargetReached;
-                    break;
-                }
-            }
-            if let Some(k) = self.config.plateau_generations {
-                if stale_generations >= k {
-                    stop_reason = StopReason::Plateau;
-                    break;
-                }
-            }
-        }
-
-        GaResult {
+        let mut run = GaRun {
+            engine: self,
+            problem,
+            memo,
+            pop,
+            history: Vec::new(),
             best,
             best_makespan,
             best_fitness,
-            generations,
-            stop_reason,
-            history,
-            final_population: Self::ranked_population(pop),
-            memo_hits: memo.hits(),
-            memo_misses: memo.misses(),
+            generations: 0,
+            stale_generations: 0,
+            max_gens,
+            fitness_buf: Vec::with_capacity(pop_size),
+            stopped: None,
+        };
+        run.record();
+
+        // Gen-0 stopping conditions, in the same precedence as the
+        // per-generation checks: an instantly met target wins over an
+        // exhausted (zero) generation budget.
+        if run.generations >= self.config.min_generations {
+            if let Some(target) = self.config.target_makespan {
+                if run.best_makespan <= target {
+                    run.stopped = Some(StopReason::TargetReached);
+                }
+            }
         }
+        if run.stopped.is_none() && max_gens == 0 {
+            run.stopped = Some(StopReason::MaxGenerations);
+        }
+        run
     }
 
     /// Consumes the working population and returns its chromosomes sorted
@@ -666,6 +575,303 @@ impl<'a> GaEngine<'a> {
             }
         }
         (best, pop[best].makespan)
+    }
+}
+
+/// Outcome of one [`GaRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaStep {
+    /// The generation ran and no stopping condition fired; the run can be
+    /// stepped again.
+    Continue,
+    /// The run is finished (this step's generation may or may not have
+    /// run — stepping an already-stopped run is a no-op that returns the
+    /// recorded reason). Call [`GaRun::into_result`].
+    Stopped(StopReason),
+}
+
+/// A live, resumable GA run: [`GaEngine::run`] unrolled into one
+/// generation per [`GaRun::step`] call.
+///
+/// The driver owns the loop, which is what makes time-budgeted planning
+/// ("best schedule in ≤ X ms" — check the clock between steps, then
+/// [`GaRun::stop_now`]) and island-model migration (interleave steps of
+/// several runs, exchanging elites between them) possible. Stepping draws
+/// from the caller's RNG exactly as the one-shot `run()` does, so a run
+/// driven to completion by `step()` is bit-identical to `run()` with the
+/// same seed.
+///
+/// The borrow of the engine and problem lasts for the run; the evaluation
+/// context passed to each `step` must evaluate exactly like the problem
+/// (in practice: the `eval` handed out by
+/// `engine.config().evaluator.with_context(problem, ..)`).
+pub struct GaRun<'r, P: Problem> {
+    engine: &'r GaEngine<'r>,
+    problem: &'r P,
+    memo: FitnessMemo,
+    pop: Vec<Individual>,
+    history: Vec<GenStats>,
+    best: Chromosome,
+    best_makespan: f64,
+    best_fitness: f64,
+    generations: u32,
+    stale_generations: u32,
+    max_gens: u32,
+    fitness_buf: Vec<f64>,
+    stopped: Option<StopReason>,
+}
+
+impl<'r, P: Problem> GaRun<'r, P> {
+    /// Appends a [`GenStats`] record for the current population, when
+    /// history recording is enabled.
+    fn record(&mut self) {
+        if self.engine.config.record_history {
+            let best_ms = self
+                .pop
+                .iter()
+                .map(|i| i.makespan)
+                .fold(f64::INFINITY, f64::min);
+            let best_f = self.pop.iter().map(|i| i.fitness).fold(0.0f64, f64::max);
+            let mean_f = self.pop.iter().map(|i| i.fitness).sum::<f64>() / self.pop.len() as f64;
+            self.history.push(GenStats {
+                generation: self.generations,
+                best_makespan: best_ms,
+                best_fitness: best_f,
+                mean_fitness: mean_f,
+            });
+        }
+    }
+
+    /// Generations evolved so far (0 right after [`GaEngine::start`]).
+    pub fn generations(&self) -> u32 {
+        self.generations
+    }
+
+    /// The lowest makespan seen so far across all generations.
+    pub fn best_makespan(&self) -> f64 {
+        self.best_makespan
+    }
+
+    /// Why the run stopped, if it has.
+    pub fn stopped(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// Stops the run from outside the engine's own stopping rules — the
+    /// driver's escape hatch for wall-clock deadlines ([`StopReason::
+    /// TimeBudget`]) or any other external condition. Idempotent against
+    /// an engine-decided stop: if the run already stopped, the original
+    /// reason is kept.
+    pub fn stop_now(&mut self, reason: StopReason) {
+        if self.stopped.is_none() {
+            self.stopped = Some(reason);
+        }
+    }
+
+    /// Advances the run by exactly one generation (breed → evaluate →
+    /// mutate → re-evaluate → improve, drawing RNG in the same order as
+    /// the one-shot `run()`), then applies the engine's stopping rules.
+    /// On an already-stopped run this is a no-op returning the recorded
+    /// reason.
+    pub fn step(&mut self, eval: &dyn BatchEval, rng: &mut Prng) -> GaStep {
+        if let Some(reason) = self.stopped {
+            return GaStep::Stopped(reason);
+        }
+
+        let engine = self.engine;
+        let config = &engine.config;
+        let problem = self.problem;
+        let pop_size = config.population_size;
+        self.generations += 1;
+
+        self.fitness_buf.clear();
+        self.fitness_buf.extend(self.pop.iter().map(|i| i.fitness));
+        let pop = &mut self.pop;
+
+        // --- breed: elitism + selection + crossover (draws RNG) --------
+        // Clones keep their cached evaluation; fresh offspring are queued
+        // with their population index for batch evaluation.
+        let mut next: Vec<Option<Individual>> = Vec::with_capacity(pop_size);
+        let mut offspring: Vec<(usize, Chromosome)> = Vec::new();
+        if config.elitism > 0 {
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by(|&a, &b| {
+                // Fitness descending, then makespan ascending: the
+                // deterministic tie-break keeps elitism meaningful even
+                // when many near-optimal schedules share a fitness value.
+                // Remaining ties keep index order (the sort is stable).
+                pop[b]
+                    .fitness
+                    .partial_cmp(&pop[a].fitness)
+                    .expect("finite fitness")
+                    .then_with(|| {
+                        pop[a]
+                            .makespan
+                            .partial_cmp(&pop[b].makespan)
+                            .expect("finite makespan")
+                    })
+            });
+            for &i in order.iter().take(config.elitism) {
+                next.push(Some(Individual {
+                    chrom: pop[i].chrom.clone(),
+                    fitness: pop[i].fitness,
+                    makespan: pop[i].makespan,
+                    completions: pop[i].completions.clone(),
+                }));
+            }
+        }
+        while next.len() < pop_size {
+            let pa = engine.selection.select(&self.fitness_buf, rng);
+            let pb = engine.selection.select(&self.fitness_buf, rng);
+            if rng.chance(config.crossover_rate) {
+                let (ca, cb) = engine.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
+                offspring.push((next.len(), ca));
+                next.push(None);
+                if next.len() < pop_size {
+                    offspring.push((next.len(), cb));
+                    next.push(None);
+                }
+            } else {
+                next.push(Some(Individual {
+                    chrom: pop[pa].chrom.clone(),
+                    fitness: pop[pa].fitness,
+                    makespan: pop[pa].makespan,
+                    completions: pop[pa].completions.clone(),
+                }));
+            }
+        }
+
+        // --- evaluate the fresh offspring, write back by index ---------
+        for e in eval_indexed(eval, &mut self.memo, offspring) {
+            let i = e.index;
+            next[i] = Some(Individual::from_eval(e));
+        }
+        *pop = next
+            .into_iter()
+            .map(|slot| slot.expect("every slot bred or evaluated"))
+            .collect();
+
+        // --- random mutation (draws RNG) -------------------------------
+        // A transposition on an individual with valid completion times is
+        // delta-evaluated on the spot: only the affected processors' sums
+        // are recomputed. Anything else marks the individual dirty for a
+        // full batched re-evaluation. Once dirty, always dirty — the
+        // cached completions no longer describe the chromosome, so later
+        // swaps cannot delta off them.
+        let mut dirty: Vec<usize> = Vec::new();
+        for _ in 0..config.mutations_per_generation {
+            let idx = rng.below(pop.len());
+            let edit = engine.mutation.mutate_tracked(&mut pop[idx].chrom, rng);
+            let already_dirty = dirty.contains(&idx);
+            let delta = match edit {
+                GeneEdit::Unchanged => continue,
+                GeneEdit::Swap { i, j } if !already_dirty => {
+                    let ind = &mut pop[idx];
+                    problem.evaluate_swap_delta(&ind.chrom, i, j, &mut ind.completions)
+                }
+                _ => None,
+            };
+            match delta {
+                Some((fitness, makespan)) => {
+                    let ind = &mut pop[idx];
+                    ind.fitness = fitness;
+                    ind.makespan = makespan;
+                    // The delta result is bit-identical to a full
+                    // evaluation, so it is safe to cache.
+                    self.memo
+                        .insert(&ind.chrom, fitness, makespan, &ind.completions);
+                }
+                None if !already_dirty => dirty.push(idx),
+                None => {}
+            }
+        }
+        if !dirty.is_empty() {
+            // Only dirty individuals are re-evaluated; the rest keep
+            // their incrementally maintained values. The dirty
+            // chromosomes are moved out (a trivial placeholder takes
+            // their slot) and moved back with their evaluation — no clone
+            // in the hot loop.
+            dirty.sort_unstable();
+            let jobs: Vec<(usize, Chromosome)> = dirty
+                .iter()
+                .map(|&i| {
+                    let chrom = std::mem::replace(
+                        &mut pop[i].chrom,
+                        Chromosome::from_queues(&[Vec::new()]),
+                    );
+                    (i, chrom)
+                })
+                .collect();
+            for e in eval_indexed(eval, &mut self.memo, jobs) {
+                let i = e.index;
+                pop[i] = Individual::from_eval(e);
+            }
+        }
+
+        // --- local improvement (rebalancing heuristic, §3.5) -----------
+        for ind in pop.iter_mut() {
+            if let Some((fitness, makespan)) =
+                problem.improve(&mut ind.chrom, ind.fitness, &mut ind.completions, rng)
+            {
+                ind.fitness = fitness;
+                ind.makespan = makespan;
+            }
+        }
+
+        // --- track the best schedule found so far ----------------------
+        let (best_idx, _) = GaEngine::best_of(pop);
+        if pop[best_idx].makespan < self.best_makespan {
+            self.best = pop[best_idx].chrom.clone();
+            self.best_makespan = pop[best_idx].makespan;
+            self.best_fitness = pop[best_idx].fitness;
+            self.stale_generations = 0;
+        } else {
+            self.stale_generations += 1;
+        }
+
+        self.record();
+
+        // --- stopping rules, in precedence order -----------------------
+        // The early stops (target, plateau) wait out the configured
+        // minimum; the generation cap is a hard latency bound and fires
+        // regardless.
+        if self.generations >= config.min_generations {
+            if let Some(target) = config.target_makespan {
+                if self.best_makespan <= target {
+                    self.stopped = Some(StopReason::TargetReached);
+                    return GaStep::Stopped(StopReason::TargetReached);
+                }
+            }
+            if let Some(k) = config.plateau_generations {
+                if self.stale_generations >= k {
+                    self.stopped = Some(StopReason::Plateau);
+                    return GaStep::Stopped(StopReason::Plateau);
+                }
+            }
+        }
+        if self.generations >= self.max_gens {
+            self.stopped = Some(StopReason::MaxGenerations);
+            return GaStep::Stopped(StopReason::MaxGenerations);
+        }
+        GaStep::Continue
+    }
+
+    /// Finishes the run and assembles the [`GaResult`]. A run abandoned
+    /// mid-flight (no stopping condition fired, no [`GaRun::stop_now`])
+    /// reports [`StopReason::MaxGenerations`] — the result is still the
+    /// best schedule found so far.
+    pub fn into_result(self) -> GaResult {
+        GaResult {
+            best: self.best,
+            best_makespan: self.best_makespan,
+            best_fitness: self.best_fitness,
+            generations: self.generations,
+            stop_reason: self.stopped.unwrap_or(StopReason::MaxGenerations),
+            history: self.history,
+            final_population: GaEngine::ranked_population(self.pop),
+            memo_hits: self.memo.hits(),
+            memo_misses: self.memo.misses(),
+        }
     }
 }
 
@@ -1089,5 +1295,212 @@ mod tests {
         // Only 3 seeds for a population of 20.
         let result = e.run(&Balance, skewed_initial(3), None, &mut rng);
         assert!(result.best.validate().is_ok());
+    }
+
+    /// An already-optimal seed population: 12 tasks balanced 3-3-3-3 over
+    /// 4 processors (the `Balance` optimum) — the shape a warm-started
+    /// plan call sees when the carried elites are already as good as this
+    /// batch allows.
+    fn balanced_initial(pop: usize) -> Vec<Chromosome> {
+        let queues = vec![
+            vec![0u32, 1, 2],
+            vec![3, 4, 5],
+            vec![6, 7, 8],
+            vec![9, 10, 11],
+        ];
+        (0..pop).map(|_| Chromosome::from_queues(&queues)).collect()
+    }
+
+    #[test]
+    fn stepped_run_matches_run() {
+        let config = GaConfig {
+            max_generations: 40,
+            mutations_per_generation: 4,
+            record_history: true,
+            plateau_generations: Some(25),
+            ..GaConfig::default()
+        };
+        let e = engine(config);
+        let mut r1 = Prng::seed_from(49);
+        let one_shot = e.run(&Balance, skewed_initial(20), None, &mut r1);
+
+        let mut r2 = Prng::seed_from(49);
+        let initial = skewed_initial(20);
+        let stepped = e.config().evaluator.with_context(&Balance, |eval| {
+            let mut run = e.start(&Balance, eval, &initial, None);
+            while run.stopped().is_none() {
+                let step = run.step(eval, &mut r2);
+                assert_eq!(step == GaStep::Continue, run.stopped().is_none());
+            }
+            run.into_result()
+        });
+
+        assert_eq!(stepped.best, one_shot.best);
+        assert_eq!(
+            stepped.best_makespan.to_bits(),
+            one_shot.best_makespan.to_bits()
+        );
+        assert_eq!(
+            stepped.best_fitness.to_bits(),
+            one_shot.best_fitness.to_bits()
+        );
+        assert_eq!(stepped.generations, one_shot.generations);
+        assert_eq!(stepped.stop_reason, one_shot.stop_reason);
+        assert_eq!(stepped.final_population, one_shot.final_population);
+        assert_eq!(stepped.memo_hits, one_shot.memo_hits);
+        assert_eq!(stepped.memo_misses, one_shot.memo_misses);
+        assert_eq!(stepped.history.len(), one_shot.history.len());
+        for (a, b) in stepped.history.iter().zip(&one_shot.history) {
+            assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+            assert_eq!(a.mean_fitness.to_bits(), b.mean_fitness.to_bits());
+            assert_eq!(a.best_makespan.to_bits(), b.best_makespan.to_bits());
+        }
+    }
+
+    #[test]
+    fn time_budget_stops_run_within_budget() {
+        let e = engine(GaConfig {
+            max_generations: u32::MAX,
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(50);
+        let budget = std::time::Duration::from_millis(20);
+        let started = std::time::Instant::now();
+        let result = e.run_budgeted(&Balance, skewed_initial(20), None, Some(budget), &mut rng);
+        let elapsed = started.elapsed();
+        assert_eq!(result.stop_reason, StopReason::TimeBudget);
+        // The toy generation takes microseconds, so plenty evolved …
+        assert!(result.generations > 0);
+        assert!(result.best.validate().is_ok());
+        // … and the overshoot is bounded by one generation (generous
+        // slack for a loaded CI host).
+        assert!(
+            elapsed < budget + std::time::Duration::from_millis(200),
+            "budgeted run took {elapsed:?} against a {budget:?} budget"
+        );
+    }
+
+    #[test]
+    fn zero_time_budget_returns_best_seed() {
+        let e = engine(GaConfig {
+            max_generations: 100,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(51);
+        let result = e.run_budgeted(
+            &Balance,
+            skewed_initial(20),
+            None,
+            Some(std::time::Duration::ZERO),
+            &mut rng,
+        );
+        // The deadline check runs before the first generation: no
+        // evolution, but the evaluated seed population is still ranked
+        // and the best seed returned.
+        assert_eq!(result.stop_reason, StopReason::TimeBudget);
+        assert_eq!(result.generations, 0);
+        assert_eq!(result.best_makespan, 12.0);
+    }
+
+    #[test]
+    fn warm_seeded_run_at_target_stops_at_generation_zero_by_default() {
+        // Regression baseline for the min_generations fix: with the
+        // default (0), a seed population already at the target returns
+        // without evolving — the paper's behaviour.
+        let e = engine(GaConfig {
+            max_generations: 100,
+            target_makespan: Some(3.0),
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(52);
+        let result = e.run(&Balance, balanced_initial(20), None, &mut rng);
+        assert_eq!(result.stop_reason, StopReason::TargetReached);
+        assert_eq!(result.generations, 0);
+    }
+
+    #[test]
+    fn min_generations_defers_target_stop() {
+        let e = engine(GaConfig {
+            max_generations: 100,
+            target_makespan: Some(3.0),
+            min_generations: 5,
+            mutations_per_generation: 4,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(52);
+        let result = e.run(&Balance, balanced_initial(20), None, &mut rng);
+        // The target is met from generation 0, but the floor forces five
+        // generations of evolution before the early stop may fire.
+        assert_eq!(result.stop_reason, StopReason::TargetReached);
+        assert_eq!(result.generations, 5);
+        assert_eq!(result.best_makespan, 3.0);
+    }
+
+    #[test]
+    fn min_generations_defers_plateau_stop_for_warm_seeds() {
+        // The warm-start interaction this knob exists for: a carried
+        // elite that the population cannot improve on trips a 1-generation
+        // plateau immediately …
+        let run = |min_generations: u32| {
+            let e = engine(GaConfig {
+                max_generations: 100,
+                plateau_generations: Some(1),
+                min_generations,
+                mutations_per_generation: 4,
+                ..GaConfig::default()
+            });
+            let mut rng = Prng::seed_from(53);
+            e.run(&Balance, balanced_initial(20), None, &mut rng)
+        };
+        let immediate = run(0);
+        assert_eq!(immediate.stop_reason, StopReason::Plateau);
+        assert_eq!(immediate.generations, 1);
+
+        // … while the floor guarantees ten generations of search first.
+        let floored = run(10);
+        assert_eq!(floored.stop_reason, StopReason::Plateau);
+        assert_eq!(floored.generations, 10);
+    }
+
+    #[test]
+    fn min_generations_never_exceeds_hard_caps() {
+        // Hard latency bounds (max_generations, the §3.4 override) always
+        // win over the early-stop floor.
+        let e = engine(GaConfig {
+            max_generations: 100,
+            min_generations: 50,
+            plateau_generations: Some(1),
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(54);
+        let result = e.run(&Balance, balanced_initial(20), Some(3), &mut rng);
+        assert_eq!(result.stop_reason, StopReason::MaxGenerations);
+        assert_eq!(result.generations, 3);
+    }
+
+    #[test]
+    fn stepping_a_stopped_run_is_a_noop() {
+        let e = engine(GaConfig {
+            max_generations: 2,
+            ..GaConfig::default()
+        });
+        let mut rng = Prng::seed_from(55);
+        let initial = skewed_initial(20);
+        e.config().evaluator.with_context(&Balance, |eval| {
+            let mut run = e.start(&Balance, eval, &initial, None);
+            while run.stopped().is_none() {
+                run.step(eval, &mut rng);
+            }
+            assert_eq!(
+                run.step(eval, &mut rng),
+                GaStep::Stopped(StopReason::MaxGenerations)
+            );
+            assert_eq!(run.generations(), 2);
+            // An external stop after the engine already stopped keeps the
+            // original reason.
+            run.stop_now(StopReason::TimeBudget);
+            assert_eq!(run.stopped(), Some(StopReason::MaxGenerations));
+        });
     }
 }

@@ -61,7 +61,7 @@ pub mod selection;
 
 pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, PartiallyMapped};
 pub use encoding::{Chromosome, Gene};
-pub use engine::{GaConfig, GaEngine, GaResult, GenStats, Problem, StopReason};
+pub use engine::{GaConfig, GaEngine, GaResult, GaRun, GaStep, GenStats, Problem, StopReason};
 pub use evaluate::{BatchEval, Evaluated, Evaluator};
 pub use memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
 pub use mutation::{GeneEdit, InsertMutation, InversionMutation, MutationOp, SwapMutation};

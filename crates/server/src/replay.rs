@@ -1,0 +1,166 @@
+//! The replay harness: drives a [`DtsServer`] from a recorded
+//! [`ArrivalTrace`].
+//!
+//! Replay feeds the trace's tasks to the server in arrival order —
+//! submissions round-robin across the configured tenants — planning
+//! whenever a full batch is pending and force-draining the final partial
+//! batch, exactly as the live service loop does. Because the server core
+//! is wall-clock-free, a replay under a deterministic [`PlanBudget`]
+//! is a pure function of `(trace, config)`: same inputs, bit-identical
+//! placements, on any host and at any evaluator worker count. That is
+//! the contract the oracle equivalence test (`tests/oracle.rs`) checks
+//! against the batch [`dts_core::PnScheduler`] pipeline.
+//!
+//! [`PlanBudget`]: dts_core::plan::PlanBudget
+
+use dts_sim::arrivals::ArrivalTrace;
+
+use crate::server::{DtsServer, PlacementEvent, ServerConfig, ServerStats, SubmitError, TenantId};
+
+/// Everything a trace replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Every placement, in emission order (batch by batch; processors
+    /// ascending within a batch, queue order within a processor).
+    pub placements: Vec<PlacementEvent>,
+    /// The server's final counters.
+    pub stats: ServerStats,
+}
+
+impl ReplayReport {
+    /// The placements as per-processor task-id queues — the shape the
+    /// batch pipeline's [`dts_model::TaskQueues`] drains into, for
+    /// direct oracle comparison.
+    pub fn queues(&self, n_procs: usize) -> Vec<Vec<u32>> {
+        let mut queues = vec![Vec::new(); n_procs];
+        for p in &self.placements {
+            queues[p.proc.index()].push(p.task.id.0);
+        }
+        queues
+    }
+}
+
+/// Replays a recorded trace against a fresh server.
+///
+/// Tenants are assigned round-robin by trace task id (deterministic).
+/// Errors propagate rather than panic; with `tenant_capacity ≥
+/// batch_size` a replay can never shed (planning always frees the
+/// pending queue before any tenant's bound is reached).
+pub fn replay_trace(
+    trace: &ArrivalTrace,
+    config: ServerConfig,
+) -> Result<ReplayReport, SubmitError> {
+    let tenants = config.tenants as u32;
+    let mut server = DtsServer::new(config);
+    let mut placements = Vec::with_capacity(trace.len());
+    for t in trace.tasks() {
+        server.submit(
+            TenantId((t.id.0 % tenants) as u16),
+            t.mflops,
+            t.arrival.seconds(),
+        )?;
+        while server.ready_to_plan() {
+            placements.extend(server.plan());
+        }
+    }
+    placements.extend(server.drain());
+    Ok(ReplayReport {
+        placements,
+        stats: server.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ProcessorProfile;
+    use dts_core::plan::PlanBudget;
+    use dts_core::PnConfig;
+    use dts_model::{ArrivalProcess, SizeDistribution, WorkloadSpec};
+
+    fn trace(n: usize, seed: u64) -> ArrivalTrace {
+        ArrivalTrace::record(
+            &WorkloadSpec {
+                count: n,
+                sizes: SizeDistribution::Uniform {
+                    lo: 10.0,
+                    hi: 1000.0,
+                },
+                arrival: ArrivalProcess::PoissonStream {
+                    mean_interarrival: 0.2,
+                },
+            },
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn config() -> ServerConfig {
+        let mut pn = PnConfig::default();
+        pn.ga.max_generations = 25;
+        ServerConfig {
+            procs: vec![
+                ProcessorProfile {
+                    rate: 100.0,
+                    comm_cost: 0.1,
+                },
+                ProcessorProfile {
+                    rate: 150.0,
+                    comm_cost: 0.2,
+                },
+                ProcessorProfile {
+                    rate: 80.0,
+                    comm_cost: 0.05,
+                },
+            ],
+            pn,
+            tenants: 3,
+            tenant_capacity: 64,
+            batch_size: 10,
+            budget: PlanBudget::Unlimited,
+        }
+    }
+
+    #[test]
+    fn replay_places_every_task_once() {
+        let t = trace(37, 5);
+        let report = replay_trace(&t, config()).unwrap();
+        assert_eq!(report.placements.len(), 37);
+        let mut ids: Vec<u32> = report.placements.iter().map(|p| p.task.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..37).collect::<Vec<_>>());
+        // 37 tasks at batch 10 → 4 plan calls (3 full + the drained tail).
+        assert_eq!(report.stats.batches, 4);
+        assert_eq!(report.stats.shed, 0);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let t = trace(50, 9);
+        let a = replay_trace(&t, config()).unwrap();
+        let b = replay_trace(&t, config()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialized_trace_replays_identically() {
+        // record → serialize → parse → replay must equal replaying the
+        // original recording: the text format loses nothing.
+        let t = trace(30, 11);
+        let reparsed = ArrivalTrace::parse(&t.serialize()).unwrap();
+        assert_eq!(
+            replay_trace(&t, config()).unwrap(),
+            replay_trace(&reparsed, config()).unwrap()
+        );
+    }
+
+    #[test]
+    fn replay_seed_changes_placements() {
+        let t = trace(30, 13);
+        let a = replay_trace(&t, config()).unwrap();
+        let mut other = config();
+        other.pn.seed ^= 0xDEAD_BEEF;
+        let b = replay_trace(&t, other).unwrap();
+        assert_ne!(a, b, "the GA seed must matter");
+    }
+}

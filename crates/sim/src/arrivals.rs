@@ -1,0 +1,478 @@
+//! Recorded arrival traces: the replayable workload format.
+//!
+//! A simulation (or a live deployment) consumes tasks as a *stream of
+//! arrivals*; this module captures that stream in a small line-based text
+//! format so the same workload can be replayed — against the online
+//! `dts-server`, the batch pipeline, or a future version of either — and
+//! compared placement-for-placement. The format:
+//!
+//! ```text
+//! dts-arrival-trace v1
+//! # any number of comment lines
+//! tasks 3
+//! 0 1052.7 0
+//! 1 940.25 0.5
+//! 2 87 1.25
+//! ```
+//!
+//! One record per task: `<id> <mflops> <arrival_seconds>`, ordered by
+//! arrival time (ties keep id order), ids dense in `0..n`. Floats are
+//! written with Rust's shortest-round-trip formatting, so **record →
+//! parse → re-record is bit-identical** — the round-trip test locks this
+//! in, and it is what makes a committed trace a stable fixture.
+//!
+//! Malformed input — bad header, syntax errors, non-monotonic timestamps,
+//! duplicate or out-of-range task ids, non-positive sizes — is rejected
+//! with a diagnosable [`TraceError`] carrying the offending line number,
+//! never a panic.
+
+use std::fmt;
+
+use dts_model::{SimTime, Task, TaskId, WorkloadSpec};
+
+/// Magic first line of the format (version-suffixed).
+const HEADER: &str = "dts-arrival-trace v1";
+
+/// Why a trace failed to parse or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The first non-comment line was not the `dts-arrival-trace v1`
+    /// header.
+    BadHeader {
+        /// What was found instead (possibly truncated).
+        found: String,
+    },
+    /// A line could not be tokenised into the expected fields.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A record's arrival time is earlier than its predecessor's.
+    NonMonotonicArrival {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The arrival that went backwards.
+        arrival: f64,
+        /// The previous record's arrival.
+        previous: f64,
+    },
+    /// The same task id appeared twice.
+    DuplicateTaskId {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated id.
+        id: u32,
+    },
+    /// A record named an id outside the declared `0..count` range.
+    UnknownTaskId {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range id.
+        id: u32,
+        /// The declared task count.
+        count: usize,
+    },
+    /// A record carried a non-finite, non-positive size or a negative /
+    /// non-finite arrival time.
+    InvalidRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What was invalid.
+        message: String,
+    },
+    /// The number of records did not match the declared `tasks <n>`
+    /// count.
+    CountMismatch {
+        /// Count declared in the `tasks` line.
+        declared: usize,
+        /// Records actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadHeader { found } => {
+                write!(f, "expected header `{HEADER}`, found `{found}`")
+            }
+            TraceError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::NonMonotonicArrival {
+                line,
+                arrival,
+                previous,
+            } => write!(
+                f,
+                "line {line}: arrival {arrival} s is earlier than the previous record's \
+                 {previous} s — records must be ordered by arrival time"
+            ),
+            TraceError::DuplicateTaskId { line, id } => {
+                write!(f, "line {line}: task id {id} already appeared")
+            }
+            TraceError::UnknownTaskId { line, id, count } => write!(
+                f,
+                "line {line}: task id {id} is outside the declared range 0..{count}"
+            ),
+            TraceError::InvalidRecord { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::CountMismatch { declared, found } => write!(
+                f,
+                "trace declared {declared} task(s) but contains {found} record(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A validated, replayable stream of task arrivals.
+///
+/// Invariants (enforced by every constructor): records are sorted by
+/// arrival time, ids are dense in `0..len`, sizes are positive and
+/// finite, arrivals are finite and non-negative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    tasks: Vec<Task>,
+}
+
+impl ArrivalTrace {
+    /// Records a trace from an already-materialised task list (e.g. the
+    /// output of [`WorkloadSpec::generate`]), validating the trace
+    /// invariants.
+    pub fn from_tasks(tasks: &[Task]) -> Result<Self, TraceError> {
+        let mut trace = Self { tasks: Vec::new() };
+        for (i, t) in tasks.iter().enumerate() {
+            trace.append_validated(i + 1, t.id.0, t.mflops, t.arrival.seconds(), tasks.len())?;
+        }
+        Ok(trace)
+    }
+
+    /// Generates a workload from `spec` at `seed` and records it. Same
+    /// `(spec, seed)` ⇒ bit-identical trace — the deterministic recording
+    /// path used by the CI fixture and the oracle tests.
+    pub fn record(spec: &WorkloadSpec, seed: u64) -> Result<Self, TraceError> {
+        Self::from_tasks(&spec.generate(seed))
+    }
+
+    /// Validates and appends one record. `line` is only for diagnostics.
+    fn append_validated(
+        &mut self,
+        line: usize,
+        id: u32,
+        mflops: f64,
+        arrival: f64,
+        count: usize,
+    ) -> Result<(), TraceError> {
+        if !(mflops.is_finite() && mflops > 0.0) {
+            return Err(TraceError::InvalidRecord {
+                line,
+                message: format!("task size {mflops} MFLOPs must be positive and finite"),
+            });
+        }
+        if !(arrival.is_finite() && arrival >= 0.0) {
+            return Err(TraceError::InvalidRecord {
+                line,
+                message: format!("arrival time {arrival} s must be non-negative and finite"),
+            });
+        }
+        if id as usize >= count {
+            return Err(TraceError::UnknownTaskId { line, id, count });
+        }
+        if self.tasks.iter().any(|t| t.id.0 == id) {
+            return Err(TraceError::DuplicateTaskId { line, id });
+        }
+        if let Some(prev) = self.tasks.last() {
+            if arrival < prev.arrival.seconds() {
+                return Err(TraceError::NonMonotonicArrival {
+                    line,
+                    arrival,
+                    previous: prev.arrival.seconds(),
+                });
+            }
+        }
+        self.tasks
+            .push(Task::new(TaskId(id), mflops, SimTime::new(arrival)));
+        Ok(())
+    }
+
+    /// Parses the text format. Inverse of [`ArrivalTrace::serialize`].
+    pub fn parse(text: &str) -> Result<Self, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+        match lines.next() {
+            Some((_, l)) if l == HEADER => {}
+            Some((_, l)) => {
+                let mut found = l.to_string();
+                found.truncate(60);
+                return Err(TraceError::BadHeader { found });
+            }
+            None => {
+                return Err(TraceError::BadHeader {
+                    found: "<empty input>".to_string(),
+                })
+            }
+        }
+
+        let count = match lines.next() {
+            Some((line, l)) => match l.strip_prefix("tasks ") {
+                Some(n) => n.parse::<usize>().map_err(|e| TraceError::Syntax {
+                    line,
+                    message: format!("bad task count `{n}`: {e}"),
+                })?,
+                None => {
+                    return Err(TraceError::Syntax {
+                        line,
+                        message: format!("expected `tasks <n>`, found `{l}`"),
+                    })
+                }
+            },
+            None => {
+                return Err(TraceError::Syntax {
+                    line: 0,
+                    message: "missing `tasks <n>` line".to_string(),
+                })
+            }
+        };
+
+        let mut trace = Self {
+            tasks: Vec::with_capacity(count),
+        };
+        for (line, l) in lines {
+            let mut fields = l.split_ascii_whitespace();
+            let (id, mflops, arrival) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(a), Some(b), Some(c)) if fields.next().is_none() => {
+                    let id = a.parse::<u32>().map_err(|e| TraceError::Syntax {
+                        line,
+                        message: format!("bad task id `{a}`: {e}"),
+                    })?;
+                    let m = b.parse::<f64>().map_err(|e| TraceError::Syntax {
+                        line,
+                        message: format!("bad size `{b}`: {e}"),
+                    })?;
+                    let t = c.parse::<f64>().map_err(|e| TraceError::Syntax {
+                        line,
+                        message: format!("bad arrival `{c}`: {e}"),
+                    })?;
+                    (id, m, t)
+                }
+                _ => {
+                    return Err(TraceError::Syntax {
+                        line,
+                        message: format!("expected `<id> <mflops> <arrival_s>`, found `{l}`"),
+                    })
+                }
+            };
+            trace.append_validated(line, id, mflops, arrival, count)?;
+        }
+
+        if trace.tasks.len() != count {
+            return Err(TraceError::CountMismatch {
+                declared: count,
+                found: trace.tasks.len(),
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Serialises to the text format. Floats use Rust's shortest
+    /// round-trip formatting, so `parse(serialize(t)) == t` bit-for-bit.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("tasks {}\n", self.tasks.len()));
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                t.id.0,
+                t.mflops,
+                t.arrival.seconds()
+            ));
+        }
+        out
+    }
+
+    /// The recorded tasks, in arrival order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the trace holds no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dts_model::{ArrivalProcess, SizeDistribution};
+
+    fn stream_spec(count: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            count,
+            sizes: SizeDistribution::Normal {
+                mean: 1000.0,
+                variance: 9.0e5,
+            },
+            arrival: ArrivalProcess::PoissonStream {
+                mean_interarrival: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn record_is_deterministic() {
+        let spec = stream_spec(40);
+        let a = ArrivalTrace::record(&spec, 7).unwrap();
+        let b = ArrivalTrace::record(&spec, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.serialize(), b.serialize());
+        assert_ne!(a, ArrivalTrace::record(&spec, 8).unwrap());
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        // record → serialize → parse → re-serialize must reproduce the
+        // exact bytes: shortest-round-trip float formatting makes the
+        // text form a lossless fixture.
+        let spec = stream_spec(100);
+        let recorded = ArrivalTrace::record(&spec, 42).unwrap();
+        let text = recorded.serialize();
+        let replayed = ArrivalTrace::parse(&text).unwrap();
+        assert_eq!(replayed, recorded);
+        assert_eq!(replayed.serialize(), text);
+        // And the replayed tasks are field-for-field the generated ones.
+        assert_eq!(replayed.tasks(), &spec.generate(42)[..]);
+    }
+
+    #[test]
+    fn round_trip_all_at_start() {
+        let spec = WorkloadSpec::batch(
+            25,
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 1000.0,
+            },
+        );
+        let recorded = ArrivalTrace::record(&spec, 3).unwrap();
+        let text = recorded.serialize();
+        assert_eq!(ArrivalTrace::parse(&text).unwrap().serialize(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# preamble\n\ndts-arrival-trace v1\n# mid\ntasks 2\n0 100 0\n\n1 200 1.5\n";
+        let t = ArrivalTrace::parse(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.tasks()[1].mflops, 200.0);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = ArrivalTrace::parse("dts-arrival-trace v99\ntasks 0\n").unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader { .. }), "{err}");
+        let err = ArrivalTrace::parse("").unwrap_err();
+        assert!(matches!(err, TraceError::BadHeader { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_monotonic_arrivals_rejected() {
+        let text = "dts-arrival-trace v1\ntasks 2\n0 100 5.0\n1 100 4.0\n";
+        let err = ArrivalTrace::parse(text).unwrap_err();
+        match err {
+            TraceError::NonMonotonicArrival { line, .. } => assert_eq!(line, 4),
+            other => panic!("wrong error: {other}"),
+        }
+        // The message names both timestamps.
+        assert!(err.to_string().contains('4') && err.to_string().contains('5'));
+    }
+
+    #[test]
+    fn unknown_task_id_rejected() {
+        let text = "dts-arrival-trace v1\ntasks 2\n0 100 0\n7 100 1\n";
+        let err = ArrivalTrace::parse(text).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::UnknownTaskId {
+                line: 4,
+                id: 7,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_task_id_rejected() {
+        let text = "dts-arrival-trace v1\ntasks 2\n0 100 0\n0 100 1\n";
+        let err = ArrivalTrace::parse(text).unwrap_err();
+        assert_eq!(err, TraceError::DuplicateTaskId { line: 4, id: 0 });
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let text = "dts-arrival-trace v1\ntasks 3\n0 100 0\n1 100 1\n";
+        let err = ArrivalTrace::parse(text).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::CountMismatch {
+                declared: 3,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_sizes_and_arrivals_rejected() {
+        for bad in [
+            "dts-arrival-trace v1\ntasks 1\n0 -5 0\n",
+            "dts-arrival-trace v1\ntasks 1\n0 0 0\n",
+            "dts-arrival-trace v1\ntasks 1\n0 inf 0\n",
+            "dts-arrival-trace v1\ntasks 1\n0 NaN 0\n",
+            "dts-arrival-trace v1\ntasks 1\n0 100 -1\n",
+            "dts-arrival-trace v1\ntasks 1\n0 100 inf\n",
+        ] {
+            let err = ArrivalTrace::parse(bad).unwrap_err();
+            assert!(matches!(err, TraceError::InvalidRecord { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_diagnosable() {
+        for (bad, needle) in [
+            ("dts-arrival-trace v1\nntasks x\n", "tasks"),
+            ("dts-arrival-trace v1\ntasks x\n", "task count"),
+            ("dts-arrival-trace v1\ntasks 1\n0 100\n", "expected"),
+            ("dts-arrival-trace v1\ntasks 1\n0 100 0 9\n", "expected"),
+            ("dts-arrival-trace v1\ntasks 1\nx 100 0\n", "task id"),
+            ("dts-arrival-trace v1\ntasks 1\n0 abc 0\n", "size"),
+            ("dts-arrival-trace v1\ntasks 1\n0 100 zz\n", "arrival"),
+        ] {
+            let err = ArrivalTrace::parse(bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "error `{msg}` for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn from_tasks_rejects_out_of_order_input() {
+        let tasks = vec![
+            Task::new(TaskId(0), 100.0, SimTime::new(2.0)),
+            Task::new(TaskId(1), 100.0, SimTime::new(1.0)),
+        ];
+        assert!(matches!(
+            ArrivalTrace::from_tasks(&tasks).unwrap_err(),
+            TraceError::NonMonotonicArrival { .. }
+        ));
+    }
+}

@@ -30,16 +30,20 @@
 //!   [`metrics::SimReport`].
 //! * [`runner`] — one-call experiment execution plus parallel replication
 //!   over seeds.
+//! * [`arrivals`] — recorded arrival traces: the replayable text workload
+//!   format consumed by the online `dts-server` replay harness.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod runner;
 pub mod trace;
 
+pub use arrivals::{ArrivalTrace, TraceError};
 pub use engine::{SimConfig, SimError, Simulation};
 pub use metrics::{ProcBreakdown, SimReport};
 pub use runner::{run_replicated, run_simulation, SchedulerFactory};

@@ -13,6 +13,7 @@
 //! | [`core`] | `dts-core` | the PN scheduler: fitness, rebalancing, dynamic batching |
 //! | [`schedulers`] | `dts-schedulers` | EF, LL, RR, min-min, max-min, Zomaya-Teh GA |
 //! | [`ga`] | `dts-ga` | generic GA engine over permutation encodings, with deterministic serial/parallel fitness evaluation |
+//! | [`server`] | `dts-server` | online scheduling service: bounded admission, batched warm-started replanning, trace replay |
 //! | [`sim`] | `dts-sim` | discrete-event distributed-system simulator |
 //! | [`model`] | `dts-model` | tasks, processors, links, workloads, the `Scheduler` trait |
 //! | [`distributions`] | `dts-distributions` | PRNG, uniform/normal/Poisson/exponential, stats |
@@ -72,6 +73,11 @@ pub mod schedulers {
 /// Generic genetic-algorithm engine. Re-export of `dts-ga`.
 pub mod ga {
     pub use dts_ga::*;
+}
+
+/// Online scheduling service. Re-export of `dts-server`.
+pub mod server {
+    pub use dts_server::*;
 }
 
 /// Discrete-event simulator. Re-export of `dts-sim`.
