@@ -17,8 +17,8 @@
 
 use dts_distributions::Prng;
 use dts_ga::{
-    Chromosome, CrossoverOp, CycleCrossover, GaEngine, GaResult, MutationOp, RouletteWheel,
-    SelectionOp, SwapMutation,
+    island_sizes, Chromosome, CrossoverOp, CycleCrossover, GaEngine, GaResult, IslandEngine,
+    MutationOp, RouletteWheel, SelectionOp, SwapMutation,
 };
 use dts_model::Task;
 
@@ -42,8 +42,16 @@ pub struct BatchOutcome {
     /// Generations evolved.
     pub generations: u32,
     /// Full GA result (history is populated when
-    /// `config.ga.record_history` is set).
+    /// `config.ga.record_history` is set). For an island run
+    /// (`config.islands.islands > 1`) this is the ensemble aggregate:
+    /// best-of-islands schedule, summed memo counters, rank-interleaved
+    /// final population, empty history.
     pub ga: GaResult,
+    /// Per-island results when the run was sharded
+    /// (`config.islands.islands > 1`), in island order; empty for a
+    /// monolithic run. Warm-start carry-over reads each island's
+    /// `final_population` from here so islands re-seed independently.
+    pub islands: Vec<GaResult>,
 }
 
 /// Runs the PN genetic algorithm over one batch of tasks.
@@ -97,6 +105,7 @@ pub fn schedule_batch_warm(
         &CycleCrossover,
         &SwapMutation,
         warm_seeds,
+        &[],
         max_generations_override,
         None,
         seed,
@@ -124,6 +133,7 @@ pub fn schedule_batch_with_ops(
         crossover,
         mutation,
         &[],
+        &[],
         max_generations_override,
         None,
         seed,
@@ -135,6 +145,13 @@ pub fn schedule_batch_with_ops(
 /// budgeted calls). `time_budget`, when set, stops the run at the first
 /// generation boundary past the deadline
 /// ([`dts_ga::StopReason::TimeBudget`]).
+///
+/// `warm_islands`, when non-empty, provides one warm-seed list per island
+/// (already remapped onto this batch, best first — see
+/// [`crate::init::remap_islands`]); it is how carry-over re-seeds each
+/// island independently. For a monolithic run only its first list is
+/// used, exactly like `warm_seeds`. When both are given, `warm_seeds`
+/// wins for a monolithic run and `warm_islands` for a sharded one.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch_ga(
     batch: &[Task],
@@ -144,6 +161,7 @@ pub(crate) fn run_batch_ga(
     crossover: &dyn CrossoverOp,
     mutation: &dyn MutationOp,
     warm_seeds: &[Chromosome],
+    warm_islands: &[Vec<Chromosome>],
     max_generations_override: Option<u32>,
     time_budget: Option<std::time::Duration>,
     seed: u64,
@@ -153,13 +171,104 @@ pub(crate) fn run_batch_ga(
     let mut rng = Prng::seed_from(seed);
 
     let problem = BatchProblem::new(batch, procs, config);
-    let mut initial: Vec<Chromosome> = warm_seeds
+    let shape_ok = |c: &&Chromosome| {
+        c.n_tasks() as usize == batch.len()
+            && c.n_procs() as usize == procs.len()
+            && c.validate().is_ok()
+    };
+
+    let n_islands = config.islands.islands;
+    if n_islands > 1 {
+        // --- island-model run: per-island seed lists, shared RNG fill ---
+        let sizes = island_sizes(config.ga.population_size, n_islands);
+        let mut seeds: Vec<Vec<Chromosome>> = vec![Vec::new(); n_islands];
+        if !warm_islands.is_empty() {
+            for (k, island) in warm_islands.iter().enumerate().take(n_islands) {
+                seeds[k] = island
+                    .iter()
+                    .filter(shape_ok)
+                    .take(sizes[k])
+                    .cloned()
+                    .collect();
+            }
+        } else {
+            // A flat warm list is distributed round-robin, so every island
+            // gets a share of the carried structure.
+            for (i, c) in warm_seeds
+                .iter()
+                .filter(shape_ok)
+                .take(config.ga.population_size)
+                .enumerate()
+            {
+                seeds[i % n_islands].push(c.clone());
+            }
+        }
+        // Fill each island to its exact size with fresh §3.3 individuals,
+        // in island order from the single run RNG — deterministic, and no
+        // seed list ever needs cycling.
+        for (k, size) in sizes.iter().enumerate() {
+            seeds[k].truncate(*size);
+            let missing = size - seeds[k].len();
+            if missing > 0 {
+                let fill = initial_population(
+                    batch,
+                    procs,
+                    missing,
+                    config.init_random_fraction,
+                    &mut rng,
+                );
+                seeds[k].extend(fill);
+            }
+        }
+
+        let engine = IslandEngine::new(
+            selection,
+            crossover,
+            mutation,
+            config.ga.clone(),
+            config.islands.clone(),
+        )
+        .expect("validated PnConfig");
+        let result = engine.run_budgeted(
+            &problem,
+            &seeds,
+            max_generations_override,
+            time_budget,
+            &mut rng,
+        );
+
+        let ga = GaResult {
+            best: result.best.clone(),
+            best_makespan: result.best_makespan,
+            best_fitness: result.best_fitness,
+            generations: result.generations,
+            stop_reason: result.stop_reason,
+            history: Vec::new(),
+            final_population: result.merged_final_population(),
+            memo_hits: result.memo_hits,
+            memo_misses: result.memo_misses,
+        };
+        return BatchOutcome {
+            queues: ga.best.to_queues(),
+            best: ga.best.clone(),
+            best_makespan: ga.best_makespan,
+            best_fitness: ga.best_fitness,
+            generations: ga.generations,
+            ga,
+            islands: result.islands,
+        };
+    }
+
+    // --- monolithic run (the paper's GA), byte-for-byte the pre-island
+    // pipeline ---
+    let flat_warm: &[Chromosome] = if !warm_seeds.is_empty() {
+        warm_seeds
+    } else {
+        warm_islands.first().map(Vec::as_slice).unwrap_or(&[])
+    };
+    let mut initial: Vec<Chromosome> = flat_warm
         .iter()
-        .filter(|c| {
-            c.n_tasks() as usize == batch.len()
-                && c.n_procs() as usize == procs.len()
-                && c.validate().is_ok()
-        })
+        .filter(shape_ok)
         .take(config.ga.population_size)
         .cloned()
         .collect();
@@ -189,6 +298,7 @@ pub(crate) fn run_batch_ga(
         best_fitness: ga.best_fitness,
         generations: ga.generations,
         ga,
+        islands: Vec::new(),
     }
 }
 

@@ -77,7 +77,7 @@ pub use batch_run::{
 };
 pub use config::{PnConfig, SeedStrategy};
 pub use fitness::{BatchProblem, ProcessorState};
-pub use init::remap_elite;
+pub use init::{remap_elite, remap_islands};
 pub use plan::{plan_batch, PlanBudget, PlanRequest};
 pub use scheduler::PnScheduler;
 pub use time_model::GaTimeModel;

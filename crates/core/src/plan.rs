@@ -76,6 +76,13 @@ pub struct PlanRequest<'a> {
     /// onto this batch's shape ([`crate::init::remap_elite`]), best
     /// first. Empty for a fresh run; mismatched shapes are skipped.
     pub warm_seeds: &'a [Chromosome],
+    /// Per-island warm seeds for sharded runs
+    /// (`config.islands.islands > 1`): one remapped elite list per island
+    /// ([`crate::init::remap_islands`]), so islands re-seed independently
+    /// and elites never mix across islands. Monolithic runs read only the
+    /// first list; empty means fresh. `warm_seeds` takes precedence for
+    /// monolithic runs, `warm_islands` for sharded ones.
+    pub warm_islands: &'a [Vec<Chromosome>],
     /// The latency budget for this call.
     pub budget: PlanBudget,
     /// Seed of the per-call RNG stream (drives population init and all
@@ -91,6 +98,7 @@ impl<'a> PlanRequest<'a> {
             batch,
             procs,
             warm_seeds: &[],
+            warm_islands: &[],
             budget: PlanBudget::Unlimited,
             seed,
         }
@@ -99,6 +107,13 @@ impl<'a> PlanRequest<'a> {
     /// Sets the warm-start seeds.
     pub fn with_warm_seeds(mut self, seeds: &'a [Chromosome]) -> Self {
         self.warm_seeds = seeds;
+        self
+    }
+
+    /// Sets per-island warm-start seeds (one list per island, best
+    /// first) for sharded configurations.
+    pub fn with_island_seeds(mut self, seeds: &'a [Vec<Chromosome>]) -> Self {
+        self.warm_islands = seeds;
         self
     }
 
@@ -124,6 +139,7 @@ pub fn plan_batch(req: &PlanRequest<'_>, config: &PnConfig) -> BatchOutcome {
         &CycleCrossover,
         &SwapMutation,
         req.warm_seeds,
+        req.warm_islands,
         req.budget.generation_cap(),
         req.budget.time_limit(),
         req.seed,

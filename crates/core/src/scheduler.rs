@@ -22,14 +22,14 @@
 use std::collections::VecDeque;
 
 use dts_distributions::{Prng, Rng};
-use dts_ga::Chromosome;
+use dts_ga::{Chromosome, CycleCrossover, RouletteWheel, SwapMutation};
 use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
-use crate::batch_run::schedule_batch_warm;
+use crate::batch_run::run_batch_ga;
 use crate::batching::BatchSizer;
 use crate::config::{PnConfig, SeedStrategy};
 use crate::fitness::ProcessorState;
-use crate::init::remap_elite;
+use crate::init::remap_islands;
 
 /// The PN dynamic GA scheduler.
 pub struct PnScheduler {
@@ -39,10 +39,13 @@ pub struct PnScheduler {
     batch_sizer: BatchSizer,
     rng: Prng,
     batches_planned: u64,
-    /// The previous batch's final population (best first), kept when
-    /// [`SeedStrategy::CarryOver`] is configured; the head is remapped
-    /// onto the next batch as warm-start seeds.
-    carried: Option<Vec<Chromosome>>,
+    /// The previous batch's final populations (best first), kept when
+    /// [`SeedStrategy::CarryOver`] is configured; each list's head is
+    /// remapped onto the next batch as warm-start seeds. A monolithic run
+    /// carries one list; an island run (`config.islands.islands > 1`)
+    /// carries one list *per island*, remapped independently so islands'
+    /// elites never mix across planning invocations.
+    carried: Option<Vec<Vec<Chromosome>>>,
 }
 
 impl PnScheduler {
@@ -153,24 +156,48 @@ impl Scheduler for PnScheduler {
         let states = self.processor_states(view);
         let seed = self.rng.next_u64();
         // Warm start (SeedStrategy::CarryOver): remap the previous batch's
-        // elites onto this batch's shape. The remap is deterministic, so
-        // the whole lifecycle stays a pure function of the seeds.
-        let warm: Vec<Chromosome> = match (self.config.seed_strategy, &self.carried) {
-            (SeedStrategy::CarryOver { elites }, Some(prev)) => prev
-                .iter()
-                .take(elites)
-                .map(|c| remap_elite(c, &batch, &states))
-                .collect(),
+        // elites onto this batch's shape, island by island. The remap is
+        // deterministic, so the whole lifecycle stays a pure function of
+        // the seeds.
+        let warm_islands: Vec<Vec<Chromosome>> = match (self.config.seed_strategy, &self.carried) {
+            (SeedStrategy::CarryOver { elites }, Some(prev)) => {
+                remap_islands(prev, elites, &batch, &states)
+            }
             _ => Vec::new(),
         };
-        let mut outcome =
-            schedule_batch_warm(&batch, &states, &self.config, &warm, Some(budget), seed);
+        let mut outcome = run_batch_ga(
+            &batch,
+            &states,
+            &self.config,
+            &RouletteWheel,
+            &CycleCrossover,
+            &SwapMutation,
+            &[],
+            &warm_islands,
+            Some(budget),
+            None,
+            seed,
+        );
         if let SeedStrategy::CarryOver { elites } = self.config.seed_strategy {
-            // Only the top `elites` schedules are ever read back; move them
-            // out of the outcome instead of cloning the whole population.
-            let mut pop = std::mem::take(&mut outcome.ga.final_population);
-            pop.truncate(elites);
-            self.carried = Some(pop);
+            // Only the top `elites` schedules per island are ever read
+            // back; move them out of the outcome instead of cloning whole
+            // populations. A monolithic run carries a single list.
+            let carried: Vec<Vec<Chromosome>> = if outcome.islands.is_empty() {
+                let mut pop = std::mem::take(&mut outcome.ga.final_population);
+                pop.truncate(elites);
+                vec![pop]
+            } else {
+                outcome
+                    .islands
+                    .iter_mut()
+                    .map(|island| {
+                        let mut pop = std::mem::take(&mut island.final_population);
+                        pop.truncate(elites);
+                        pop
+                    })
+                    .collect()
+            };
+            self.carried = Some(carried);
         }
 
         // --- commit the winning assignment -------------------------------
@@ -425,8 +452,85 @@ mod tests {
         let mut s = PnScheduler::new(2, c);
         s.enqueue(&tasks(20, 100.0));
         s.plan(&v);
-        let pop = s.carried.as_ref().expect("carry-over retains population");
-        assert_eq!(pop.len(), 3, "only the elites are retained");
-        assert!(pop.iter().all(|ch| ch.validate().is_ok()));
+        let carried = s.carried.as_ref().expect("carry-over retains population");
+        assert_eq!(carried.len(), 1, "monolithic run carries one list");
+        assert_eq!(carried[0].len(), 3, "only the elites are retained");
+        assert!(carried[0].iter().all(|ch| ch.validate().is_ok()));
+    }
+
+    fn island_config() -> dts_ga::IslandConfig {
+        dts_ga::IslandConfig {
+            islands: 2,
+            migration_interval: 5,
+            migrants: 1,
+            topology: dts_ga::Topology::Ring,
+        }
+    }
+
+    #[test]
+    fn island_warm_start_carries_one_list_per_island() {
+        let mut c = quick_config().with_islands(island_config());
+        c.seed_strategy = SeedStrategy::CarryOver { elites: 3 };
+        let mut s = PnScheduler::new(3, c);
+        s.enqueue(&varied_tasks(32));
+        let v = view(&[100.0, 150.0, 80.0]);
+        s.plan(&v);
+        let carried = s.carried.as_ref().expect("elites carried");
+        assert_eq!(carried.len(), 2, "one carried list per island");
+        assert!(carried.iter().all(|isl| isl.len() == 3));
+        assert!(carried.iter().flatten().all(|ch| ch.validate().is_ok()));
+    }
+
+    #[test]
+    fn island_warm_start_survives_batch_shape_change_bit_stably() {
+        // Regression (island warm-start across a shape change): batch 1
+        // has 10 tasks, batch 2 only 6 — every island's elites must be
+        // remapped independently onto the new shape, and the whole
+        // lifecycle must stay bit-stable run to run.
+        let run = || {
+            let mut c = quick_config().with_islands(island_config());
+            c.seed_strategy = SeedStrategy::CarryOver { elites: 3 };
+            c.initial_batch = 10;
+            c.max_batch = 10;
+            let mut s = PnScheduler::new(3, c);
+            s.enqueue(&varied_tasks(16));
+            let v = view(&[100.0, 150.0, 80.0]);
+            s.plan(&v); // 10-task batch
+            let carried_shapes: Vec<usize> =
+                s.carried.as_ref().unwrap().iter().map(Vec::len).collect();
+            while s.unscheduled_len() > 0 {
+                s.plan(&v); // remaining 6 tasks: shape change
+            }
+            (carried_shapes, drain_ids(&mut s, 3))
+        };
+        let (shapes_a, ids_a) = run();
+        let (shapes_b, ids_b) = run();
+        assert_eq!(shapes_a, vec![3, 3], "both islands carried elites");
+        assert_eq!(shapes_a, shapes_b);
+        assert_eq!(ids_a, ids_b, "island warm-start must be bit-stable");
+        let total: usize = ids_a.iter().map(Vec::len).sum();
+        assert_eq!(total, 16, "every task dispatched exactly once");
+    }
+
+    #[test]
+    fn island_plans_match_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut c = quick_config()
+                .with_islands(island_config())
+                .with_eval_workers(workers);
+            c.seed_strategy = SeedStrategy::CarryOver { elites: 3 };
+            c.initial_batch = 12;
+            c.max_batch = 12;
+            let mut s = PnScheduler::new(3, c);
+            s.enqueue(&varied_tasks(24));
+            let v = view(&[100.0, 150.0, 80.0]);
+            while s.unscheduled_len() > 0 {
+                s.plan(&v);
+            }
+            drain_ids(&mut s, 3)
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
     }
 }

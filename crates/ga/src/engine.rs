@@ -856,6 +856,36 @@ impl<'r, P: Problem> GaRun<'r, P> {
         GaStep::Continue
     }
 
+    /// Population indices sorted by makespan ascending (stable: ties keep
+    /// population order) — the ranking the island migration operator uses
+    /// to pick emigrants (head) and the immigrants to displace (tail).
+    /// A pure function of the evaluated population, so it is identical
+    /// whatever thread stepped the island.
+    pub(crate) fn ranked_indices(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.pop[a]
+                .makespan
+                .partial_cmp(&self.pop[b].makespan)
+                .expect("finite makespan")
+        });
+        order
+    }
+
+    /// Re-runs the best-schedule tracking over the current population —
+    /// called after a migration so an immigrant better than everything
+    /// this island has seen becomes its tracked best (and resets the
+    /// plateau counter, exactly like an improvement found by evolution).
+    pub(crate) fn refresh_best(&mut self) {
+        let (best_idx, _) = GaEngine::best_of(&self.pop);
+        if self.pop[best_idx].makespan < self.best_makespan {
+            self.best = self.pop[best_idx].chrom.clone();
+            self.best_makespan = self.pop[best_idx].makespan;
+            self.best_fitness = self.pop[best_idx].fitness;
+            self.stale_generations = 0;
+        }
+    }
+
     /// Finishes the run and assembles the [`GaResult`]. A run abandoned
     /// mid-flight (no stopping condition fired, no [`GaRun::stop_now`])
     /// reports [`StopReason::MaxGenerations`] — the result is still the
@@ -873,6 +903,19 @@ impl<'r, P: Problem> GaRun<'r, P> {
             memo_misses: self.memo.misses(),
         }
     }
+}
+
+/// Swaps the individuals at population slot `ia` of `a` and `ib` of `b` —
+/// the island migration primitive. Cached fitness, makespan, and
+/// completion times travel with the chromosomes, so migration never
+/// re-evaluates anything and never touches the memo counters.
+pub(crate) fn swap_individuals<P: Problem>(
+    a: &mut GaRun<'_, P>,
+    ia: usize,
+    b: &mut GaRun<'_, P>,
+    ib: usize,
+) {
+    std::mem::swap(&mut a.pop[ia], &mut b.pop[ib]);
 }
 
 #[cfg(test)]

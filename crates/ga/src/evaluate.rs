@@ -243,8 +243,13 @@ pub trait BatchEval {
     fn eval_batch(&self, jobs: Chunk) -> Vec<Evaluated>;
 }
 
-struct SerialCtx<'a, P: ?Sized> {
-    problem: &'a P,
+/// Serial evaluation context: evaluates in index order on the calling
+/// thread. Crate-visible so the island engine can hand each island its own
+/// serial context while islands themselves run on separate threads — the
+/// per-island evaluation order (and therefore every result bit) is then
+/// independent of how islands are scheduled onto workers.
+pub(crate) struct SerialCtx<'a, P: ?Sized> {
+    pub(crate) problem: &'a P,
 }
 
 impl<P: Problem + ?Sized> BatchEval for SerialCtx<'_, P> {

@@ -22,6 +22,12 @@
 //!   [`evaluate::Evaluator`] executes fitness batches either serially or on
 //!   a scoped thread pool, with results written back by chromosome index so
 //!   runs are bit-identical at any worker count.
+//! * [`islands`] — the island model: [`islands::IslandEngine`] shards one
+//!   configured population across independent islands (one [`GaRun`] each,
+//!   stepped in lockstep rounds, coarse-grained parallelism over the same
+//!   [`evaluate::Evaluator`] worker budget) with deterministic elite
+//!   migration every [`islands::IslandConfig::migration_interval`]
+//!   generations.
 //! * [`memo`] — the fitness memo: duplicate genomes (common late in
 //!   convergence) are evaluated once per batch epoch and then served from
 //!   an O(1) cache keyed by the chromosome's incrementally maintained
@@ -55,6 +61,7 @@ pub mod crossover;
 pub mod encoding;
 pub mod engine;
 pub mod evaluate;
+pub mod islands;
 pub mod memo;
 pub mod mutation;
 pub mod selection;
@@ -63,6 +70,9 @@ pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, 
 pub use encoding::{Chromosome, Gene};
 pub use engine::{GaConfig, GaEngine, GaResult, GaRun, GaStep, GenStats, Problem, StopReason};
 pub use evaluate::{BatchEval, Evaluated, Evaluator};
+pub use islands::{
+    island_sizes, migrate_populations, IslandConfig, IslandEngine, IslandResult, Topology,
+};
 pub use memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
 pub use mutation::{GeneEdit, InsertMutation, InversionMutation, MutationOp, SwapMutation};
 pub use selection::{RankSelection, RouletteWheel, SelectionOp, Tournament};

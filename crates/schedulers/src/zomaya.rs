@@ -27,7 +27,8 @@ use std::collections::VecDeque;
 
 use dts_distributions::{Prng, Rng};
 use dts_ga::{
-    Chromosome, CycleCrossover, GaConfig, GaEngine, Gene, Problem, RouletteWheel, SwapMutation,
+    island_sizes, Chromosome, CycleCrossover, GaConfig, GaEngine, Gene, IslandConfig, IslandEngine,
+    Problem, RouletteWheel, SwapMutation,
 };
 use dts_model::{PlanOutcome, ProcessorId, Scheduler, SchedulerMode, SystemView, Task, TaskQueues};
 
@@ -52,6 +53,10 @@ pub struct ZoConfig {
     /// the previous batch's remapped elites — the same lifecycle knob PN
     /// has, kept symmetric so warm-start comparisons are apples-to-apples.
     pub seed_strategy: SeedStrategy,
+    /// Island-model sharding of the GA population, kept symmetric with
+    /// [`dts_core::PnConfig`]'s knob so island comparisons are
+    /// apples-to-apples. The default single island is the original ZO GA.
+    pub islands: IslandConfig,
     /// Seed for the scheduler's private RNG stream.
     pub seed: u64,
 }
@@ -64,6 +69,7 @@ impl Default for ZoConfig {
             min_generations: 10,
             time_model: GaTimeModel::default(),
             seed_strategy: SeedStrategy::Fresh,
+            islands: IslandConfig::default(),
             seed: 0x20_2001,
         }
     }
@@ -267,6 +273,10 @@ impl Zomaya {
             config.seed_strategy != (SeedStrategy::CarryOver { elites: 0 }),
             "carry-over elites must be ≥ 1"
         );
+        config
+            .islands
+            .validate(config.ga.population_size, config.ga.elitism)
+            .expect("invalid ZoConfig island knobs");
         let rng = Prng::seed_from(config.seed);
         Self {
             config,
@@ -378,17 +388,47 @@ impl Scheduler for Zomaya {
         let selection = RouletteWheel;
         let crossover = CycleCrossover;
         let mutation = SwapMutation;
-        let engine = GaEngine::new(&selection, &crossover, &mutation, self.config.ga.clone());
-        let mut result = engine.run(&problem, initial, Some(budget), &mut self.rng);
+        let n_islands = self.config.islands.islands;
+        let (best, generations, final_population) = if n_islands > 1 {
+            // Shard the already-built population contiguously: the carried
+            // elites land on the first island(s), random fill on the rest.
+            // Deterministic — the split is a pure function of the sizes.
+            let mut seeds: Vec<Vec<Chromosome>> = Vec::with_capacity(n_islands);
+            let mut rest = initial;
+            for size in island_sizes(self.config.ga.population_size, n_islands) {
+                let tail = rest.split_off(size.min(rest.len()));
+                seeds.push(rest);
+                rest = tail;
+            }
+            let engine = IslandEngine::new(
+                &selection,
+                &crossover,
+                &mutation,
+                self.config.ga.clone(),
+                self.config.islands.clone(),
+            )
+            .expect("validated ZoConfig");
+            let result = engine.run(&problem, &seeds, Some(budget), &mut self.rng);
+            (
+                result.best.clone(),
+                result.generations,
+                result.merged_final_population(),
+            )
+        } else {
+            let engine = GaEngine::new(&selection, &crossover, &mutation, self.config.ga.clone());
+            let mut result = engine.run(&problem, initial, Some(budget), &mut self.rng);
+            // Only the top schedules are ever read back; move the
+            // population out of the result instead of cloning it.
+            let pop = std::mem::take(&mut result.final_population);
+            (result.best, result.generations, pop)
+        };
         if let SeedStrategy::CarryOver { elites } = self.config.seed_strategy {
-            // Only the top `elites` schedules are ever read back; move them
-            // out of the result instead of cloning the whole population.
-            let mut pop = std::mem::take(&mut result.final_population);
+            let mut pop = final_population;
             pop.truncate(elites);
             self.carried = Some(pop);
         }
 
-        for (proc, queue) in result.best.to_queues().iter().enumerate() {
+        for (proc, queue) in best.to_queues().iter().enumerate() {
             let pid = ProcessorId(proc as u16);
             for &slot in queue {
                 self.queues.push(pid, batch[slot as usize]);
@@ -397,8 +437,8 @@ impl Scheduler for Zomaya {
 
         PlanOutcome {
             tasks_assigned: h,
-            compute_seconds: per_gen * result.generations as f64,
-            generations: result.generations,
+            compute_seconds: per_gen * generations as f64,
+            generations,
         }
     }
 
@@ -673,6 +713,51 @@ mod tests {
             let pop = s.carried.as_ref().expect("population retained");
             assert!(pop.iter().all(|ch| ch.validate().is_ok()));
         }
+    }
+
+    #[test]
+    fn zo_island_plans_are_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut cfg = quick();
+            cfg.ga.evaluator = dts_ga::Evaluator::threads(workers);
+            cfg.islands = IslandConfig {
+                islands: 4,
+                migration_interval: 5,
+                migrants: 1,
+                topology: dts_ga::Topology::Ring,
+            };
+            let mut s = Zomaya::new(3, cfg);
+            s.enqueue(&varied(32));
+            let v = view(&[100.0, 150.0, 80.0]);
+            while s.unscheduled_len() > 0 {
+                s.plan(&v);
+            }
+            (0..3)
+                .map(|i| {
+                    let mut ids = Vec::new();
+                    while let Some(t) = s.next_task_for(ProcessorId(i)) {
+                        ids.push(t.id);
+                    }
+                    ids
+                })
+                .collect::<Vec<_>>()
+        };
+        let serial = run(1);
+        assert_eq!(serial.iter().map(Vec::len).sum::<usize>(), 32);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zo_degenerate_islands_rejected() {
+        let mut c = quick();
+        c.islands = IslandConfig {
+            islands: 4,
+            migrants: 5, // >= population 20 / 4 islands
+            ..IslandConfig::default()
+        };
+        let _ = Zomaya::new(2, c);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use dts_core::plan::{plan_batch, PlanBudget, PlanRequest};
-use dts_core::{remap_elite, PnConfig, ProcessorState, SeedStrategy};
+use dts_core::{remap_islands, PnConfig, ProcessorState, SeedStrategy};
 use dts_distributions::{Prng, Rng};
 use dts_ga::Chromosome;
 use dts_model::{ProcessorId, SimTime, Task, TaskId, TaskQueues};
@@ -225,8 +225,11 @@ pub struct DtsServer {
     /// The plan-call seed stream (same discipline as
     /// [`dts_core::PnScheduler`]: one `next_u64` per plan call).
     rng: Prng,
-    /// Previous batch's elites under [`SeedStrategy::CarryOver`].
-    carried: Option<Vec<Chromosome>>,
+    /// Previous batch's elites under [`SeedStrategy::CarryOver`], one
+    /// list per island (a monolithic plan carries a single list) —
+    /// mirroring [`dts_core::PnScheduler`] so the oracle equivalence
+    /// holds for sharded configurations too.
+    carried: Option<Vec<Vec<Chromosome>>>,
     stats: ServerStats,
 }
 
@@ -387,24 +390,36 @@ impl DtsServer {
 
         let states = self.processor_states();
         let seed = self.rng.next_u64();
-        let warm: Vec<Chromosome> = match (self.config.pn.seed_strategy, &self.carried) {
-            (SeedStrategy::CarryOver { elites }, Some(prev)) => prev
-                .iter()
-                .take(elites)
-                .map(|c| remap_elite(c, &batch, &states))
-                .collect(),
+        let warm_islands: Vec<Vec<Chromosome>> = match (self.config.pn.seed_strategy, &self.carried)
+        {
+            (SeedStrategy::CarryOver { elites }, Some(prev)) => {
+                remap_islands(prev, elites, &batch, &states)
+            }
             _ => Vec::new(),
         };
         let mut outcome = plan_batch(
             &PlanRequest::new(&batch, &states, seed)
-                .with_warm_seeds(&warm)
+                .with_island_seeds(&warm_islands)
                 .with_budget(self.config.budget),
             &self.config.pn,
         );
         if let SeedStrategy::CarryOver { elites } = self.config.pn.seed_strategy {
-            let mut pop = std::mem::take(&mut outcome.ga.final_population);
-            pop.truncate(elites);
-            self.carried = Some(pop);
+            let carried: Vec<Vec<Chromosome>> = if outcome.islands.is_empty() {
+                let mut pop = std::mem::take(&mut outcome.ga.final_population);
+                pop.truncate(elites);
+                vec![pop]
+            } else {
+                outcome
+                    .islands
+                    .iter_mut()
+                    .map(|island| {
+                        let mut pop = std::mem::take(&mut island.final_population);
+                        pop.truncate(elites);
+                        pop
+                    })
+                    .collect()
+            };
+            self.carried = Some(carried);
         }
 
         let batch_no = self.stats.batches;
@@ -621,8 +636,33 @@ mod tests {
         }
         s.plan();
         let carried = s.carried.as_ref().expect("elites carried");
-        assert_eq!(carried.len(), 4);
-        assert!(carried.iter().all(|c| c.validate().is_ok()));
+        assert_eq!(carried.len(), 1, "monolithic plan carries one list");
+        assert_eq!(carried[0].len(), 4);
+        assert!(carried[0].iter().all(|c| c.validate().is_ok()));
+        s.drain();
+        assert_eq!(s.stats().placed, 12);
+    }
+
+    #[test]
+    fn island_plans_carry_per_island_elites() {
+        let mut cfg = small_config();
+        cfg.pn.seed_strategy = SeedStrategy::CarryOver { elites: 4 };
+        cfg.pn.islands = dts_ga::IslandConfig {
+            islands: 2,
+            migration_interval: 5,
+            migrants: 1,
+            topology: dts_ga::Topology::Ring,
+        };
+        let mut s = DtsServer::new(cfg);
+        for i in 0..12 {
+            s.submit(TenantId((i % 2) as u16), 50.0 + 37.0 * i as f64, i as f64)
+                .unwrap();
+        }
+        s.plan();
+        let carried = s.carried.as_ref().expect("elites carried");
+        assert_eq!(carried.len(), 2, "one carried list per island");
+        assert!(carried.iter().all(|isl| isl.len() == 4));
+        assert!(carried.iter().flatten().all(|c| c.validate().is_ok()));
         s.drain();
         assert_eq!(s.stats().placed, 12);
     }

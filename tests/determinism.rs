@@ -11,7 +11,7 @@
 //! paper's figures.
 
 use dts::core::{PnConfig, PnScheduler, SeedStrategy};
-use dts::ga::Evaluator;
+use dts::ga::{Evaluator, IslandConfig, Topology};
 use dts::model::{ClusterSpec, Scheduler, SizeDistribution, WorkloadSpec};
 use dts::schedulers::{
     EarliestFinish, LightestLoaded, MaxMin, MinMin, RoundRobin, ZoConfig, Zomaya,
@@ -217,6 +217,128 @@ fn memo_on_off_and_worker_counts_are_bit_identical() {
             }
         }
     }
+}
+
+/// Island-model determinism: sharding the GA population must not open any
+/// nondeterminism hole. The matrix islands {1, 4} × memo {0, 4096} ×
+/// workers {1, 4} must collapse to one bitwise schedule per island count,
+/// for both GA schedulers — migration is driven by island-indexed RNG
+/// streams and rank snapshots, so neither the fitness memo nor thread
+/// scheduling may influence who migrates where.
+fn run_once_islands(
+    name: &str,
+    evaluator: Evaluator,
+    memo_capacity: usize,
+    islands: usize,
+) -> SimReport {
+    let island_cfg = IslandConfig {
+        islands,
+        migration_interval: 3,
+        migrants: 1,
+        topology: Topology::Ring,
+    };
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let tasks = workload.generate(SEED);
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = SEED ^ 0xFACE;
+    let sched: Box<dyn Scheduler> = match name {
+        "ZO" => {
+            let mut cfg = ZoConfig::default();
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.ga.memo_capacity = memo_capacity;
+            cfg.islands = island_cfg;
+            Box::new(Zomaya::new(PROCS, cfg))
+        }
+        "PN" => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 8;
+            cfg.max_batch = 8;
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.ga.memo_capacity = memo_capacity;
+            cfg.islands = island_cfg;
+            Box::new(PnScheduler::new(PROCS, cfg))
+        }
+        other => panic!("unknown scheduler {other}"),
+    };
+    Simulation::new(cluster, tasks, sched, config)
+        .run()
+        .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
+}
+
+#[test]
+fn island_runs_are_bit_identical_across_memo_and_worker_counts() {
+    for name in ["PN", "ZO"] {
+        for islands in [1usize, 4] {
+            let reference = run_once_islands(name, Evaluator::Serial, 0, islands);
+            for memo_capacity in [0usize, 4096] {
+                for evaluator in [Evaluator::Serial, Evaluator::ThreadPool { workers: 4 }] {
+                    let run = run_once_islands(name, evaluator, memo_capacity, islands);
+                    assert_identical(
+                        &format!("{name}/islands={islands}/memo={memo_capacity}/{evaluator:?}"),
+                        &reference,
+                        &run,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The opposite guard: island RNG streams derive from the master seed, so
+/// a different seed must produce a genuinely different migration pattern
+/// (observable as a different schedule), not a constant one.
+#[test]
+fn island_seed_changes_the_migration_outcome() {
+    let island_cfg = IslandConfig {
+        islands: 4,
+        migration_interval: 3,
+        migrants: 1,
+        topology: Topology::Ring,
+    };
+    let run_with = |seed: u64| {
+        let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(seed);
+        let workload = WorkloadSpec::batch(
+            TASKS,
+            SizeDistribution::Normal {
+                mean: 500.0,
+                variance: 1.0e4,
+            },
+        );
+        let tasks = workload.generate(seed);
+        let mut config = SimConfig::default();
+        config.record_trace = true;
+        config.seed = seed ^ 0xFACE;
+        let mut cfg = PnConfig::default();
+        cfg.initial_batch = 8;
+        cfg.max_batch = 8;
+        cfg.ga.max_generations = 25;
+        cfg.islands = island_cfg.clone();
+        Simulation::new(
+            cluster,
+            tasks,
+            Box::new(PnScheduler::new(PROCS, cfg)),
+            config,
+        )
+        .run()
+        .expect("island run completes")
+    };
+    let a = run_with(SEED);
+    let b = run_with(SEED ^ 0x5EED);
+    assert_ne!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "changing the master seed should change the island run"
+    );
 }
 
 /// Warm-start lifecycle determinism: with population carry-over the GA
