@@ -1,0 +1,208 @@
+//! `perf_dag` — what does precedence-aware planning cost, and how much
+//! makespan do the constraints themselves add?
+//!
+//! For each DAG family (fork-join, parallel chains, random layered) the
+//! sweep plans one batch twice with the same PN configuration and seed:
+//!
+//! * **constrained** — `PlanRequest::with_precedence`, so every
+//!   chromosome passes through the deterministic topological repair
+//!   operator and fitness charges predecessor-finish lower bounds;
+//! * **independent** — the same batch with no precedence table, the
+//!   paper's original pipeline and a lower bound on the DAG makespan
+//!   (removing constraints can only help).
+//!
+//! Per cell over `DTS_REPS` seeded replications it reports:
+//!
+//! * median **repair overhead** — constrained wall-clock / independent
+//!   wall-clock on the same problem (host-dependent ratio; the repair
+//!   operator plus the DAG fitness recursion);
+//! * median/p95 **makespan vs independent lower bound** — how much the
+//!   precedence edges themselves cost (≥ 1 by construction; 1 would
+//!   mean the constraints were free).
+//!
+//! Makespans are deterministic per seed (same JSON on any host); only
+//! the wall-clock columns vary. Results go to `BENCH_dag.json`
+//! (override with `DTS_OUT`).
+//!
+//! Knobs: `DTS_REPS` (default 7), `DTS_TASKS` (40), `DTS_PROCS` (6),
+//! `DTS_GENS` (300), `DTS_SEED`, `DTS_OUT`.
+
+use std::time::Instant;
+
+use dts_bench::{env_or, host_json};
+use dts_core::fitness::ProcessorState;
+use dts_core::{plan_batch, slot_precedence, PlanRequest, PnConfig};
+use dts_distributions::{Prng, Rng};
+use dts_model::{DagFamily, SimTime, Task, TaskId};
+
+/// Median/p95 over replications.
+#[derive(Clone, Copy)]
+struct Summary {
+    median: f64,
+    p95: f64,
+}
+
+fn summarize(samples: &mut [f64]) -> Summary {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = samples.len();
+    Summary {
+        median: samples[n / 2],
+        p95: samples[((n * 95) / 100).min(n - 1)],
+    }
+}
+
+struct Cell {
+    family: String,
+    edges: usize,
+    makespan: Summary,
+    vs_independent: Summary,
+    overhead: Summary,
+}
+
+/// A heterogeneous batch + fleet in the paper's ranges, seeded.
+fn problem(tasks: usize, procs: usize, seed: u64) -> (Vec<Task>, Vec<ProcessorState>) {
+    let mut rng = Prng::seed_from(seed);
+    let batch: Vec<Task> = (0..tasks)
+        .map(|i| {
+            let mflops = 200.0 + rng.next_f64() * 1800.0;
+            Task::new(TaskId(i as u32), mflops, SimTime::ZERO)
+        })
+        .collect();
+    let fleet: Vec<ProcessorState> = (0..procs)
+        .map(|_| ProcessorState {
+            rate: 50.0 + rng.next_f64() * 100.0,
+            existing_load_mflops: rng.next_f64() * 500.0,
+            comm_cost: 0.05 + rng.next_f64() * 0.15,
+        })
+        .collect();
+    (batch, fleet)
+}
+
+fn main() {
+    let reps: usize = env_or("DTS_REPS", 7);
+    let tasks: usize = env_or("DTS_TASKS", 40);
+    let procs: usize = env_or("DTS_PROCS", 6);
+    let gens: u32 = env_or("DTS_GENS", 300);
+    let seed: u64 = env_or("DTS_SEED", 20_050_404);
+    let out_path: String = env_or("DTS_OUT", "BENCH_dag.json".to_string());
+
+    let mut cfg = PnConfig::default();
+    cfg.ga.max_generations = gens;
+
+    let families = [
+        DagFamily::ForkJoin { width: 4 },
+        DagFamily::Chains { chains: 4 },
+        DagFamily::RandomLayered {
+            layers: 5,
+            edge_probability: 0.3,
+        },
+    ];
+
+    eprintln!(
+        "perf_dag: {} families × {reps} reps, {tasks} tasks, {procs} procs, \
+         gens {gens}, seed {seed}",
+        families.len()
+    );
+
+    println!(
+        "{:>20} {:>6} {:>12} {:>8} {:>8} {:>9}",
+        "family", "edges", "makespan_s", "vs_ind", "p95_vi", "overhead"
+    );
+    let mut cells: Vec<Cell> = Vec::new();
+    for family in &families {
+        let mut makespans = Vec::with_capacity(reps);
+        let mut ratios = Vec::with_capacity(reps);
+        let mut overheads = Vec::with_capacity(reps);
+        let mut edges = 0usize;
+        for rep in 0..reps {
+            let rep_seed = seed ^ (rep as u64).wrapping_mul(0x9E37);
+            let (batch, fleet) = problem(tasks, procs, rep_seed);
+            let graph = family.build(tasks, rep_seed);
+            edges = graph.edge_count();
+            let prec = slot_precedence(&batch, &graph);
+
+            let t0 = Instant::now();
+            let independent =
+                plan_batch(&PlanRequest::new(&batch, &fleet, seed + rep as u64), &cfg);
+            let wall_ind = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let constrained = plan_batch(
+                &PlanRequest::new(&batch, &fleet, seed + rep as u64).with_precedence(&prec),
+                &cfg,
+            );
+            let wall_dag = t0.elapsed().as_secs_f64();
+
+            // Any constrained schedule is also a feasible independent
+            // schedule, so the ratio should be >= 1; both searches are
+            // heuristic though, so flag rather than fail a rare flip.
+            if constrained.best_makespan < independent.best_makespan * (1.0 - 1e-9) {
+                eprintln!(
+                    "note: {} rep {rep}: independent GA converged worse than the DAG run",
+                    family.label()
+                );
+            }
+            makespans.push(constrained.best_makespan);
+            ratios.push(constrained.best_makespan / independent.best_makespan);
+            overheads.push(wall_dag / wall_ind);
+        }
+        let cell = Cell {
+            family: family.label(),
+            edges,
+            makespan: summarize(&mut makespans),
+            vs_independent: summarize(&mut ratios),
+            overhead: summarize(&mut overheads),
+        };
+        println!(
+            "{:>20} {:>6} {:>12.2} {:>8.3} {:>8.3} {:>9.3}",
+            cell.family,
+            cell.edges,
+            cell.makespan.median,
+            cell.vs_independent.median,
+            cell.vs_independent.p95,
+            cell.overhead.median,
+        );
+        cells.push(cell);
+    }
+
+    // ---- JSON ------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"dag\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&host_json());
+    json.push_str(&format!(
+        "  \"config\": {{ \"reps\": {reps}, \"tasks\": {tasks}, \"procs\": {procs}, \
+         \"max_generations\": {gens}, \"seed\": {seed} }},\n"
+    ));
+    json.push_str(
+        "  \"note\": \"each cell plans the same seeded batch with and without its DAG's \
+         precedence table; vs_independent is the constrained makespan over the unconstrained \
+         one (>= 1: what the edges themselves cost), overhead is the constrained wall-clock \
+         over the unconstrained wall-clock (host-dependent: topological repair plus the \
+         predecessor-aware fitness); makespans and ratios are deterministic per seed\",\n",
+    );
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"family\": \"{}\", \"edges\": {}, \
+             \"median_makespan_s\": {:.3}, \"p95_makespan_s\": {:.3}, \
+             \"median_vs_independent\": {:.4}, \"p95_vs_independent\": {:.4}, \
+             \"median_repair_overhead\": {:.3}, \"p95_repair_overhead\": {:.3} }}{}\n",
+            c.family,
+            c.edges,
+            c.makespan.median,
+            c.makespan.p95,
+            c.vs_independent.median,
+            c.vs_independent.p95,
+            c.overhead.median,
+            c.overhead.p95,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_dag.json");
+    eprintln!("wrote {out_path}");
+}

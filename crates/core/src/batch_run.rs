@@ -18,7 +18,7 @@
 use dts_distributions::Prng;
 use dts_ga::{
     island_sizes, Chromosome, CrossoverOp, CycleCrossover, GaEngine, GaResult, IslandEngine,
-    MutationOp, RouletteWheel, SelectionOp, SwapMutation,
+    MutationOp, RouletteWheel, SelectionOp, SlotPrecedence, SwapMutation,
 };
 use dts_model::Task;
 
@@ -106,6 +106,7 @@ pub fn schedule_batch_warm(
         &SwapMutation,
         warm_seeds,
         &[],
+        None,
         max_generations_override,
         None,
         seed,
@@ -134,6 +135,7 @@ pub fn schedule_batch_with_ops(
         mutation,
         &[],
         &[],
+        None,
         max_generations_override,
         None,
         seed,
@@ -152,6 +154,13 @@ pub fn schedule_batch_with_ops(
 /// island independently. For a monolithic run only its first list is
 /// used, exactly like `warm_seeds`. When both are given, `warm_seeds`
 /// wins for a monolithic run and `warm_islands` for a sharded one.
+///
+/// `precedence`, when given (and constrained), makes this a DAG planning
+/// run: the problem is built with
+/// [`BatchProblem::with_precedence`], so the engine repairs every
+/// chromosome into topological order and completion times charge
+/// predecessor finishes. `None` — every online call site — is the
+/// original independent-task pipeline, untouched.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_batch_ga(
     batch: &[Task],
@@ -162,6 +171,7 @@ pub(crate) fn run_batch_ga(
     mutation: &dyn MutationOp,
     warm_seeds: &[Chromosome],
     warm_islands: &[Vec<Chromosome>],
+    precedence: Option<&SlotPrecedence>,
     max_generations_override: Option<u32>,
     time_budget: Option<std::time::Duration>,
     seed: u64,
@@ -170,7 +180,10 @@ pub(crate) fn run_batch_ga(
     config.validate().expect("invalid PnConfig");
     let mut rng = Prng::seed_from(seed);
 
-    let problem = BatchProblem::new(batch, procs, config);
+    let mut problem = BatchProblem::new(batch, procs, config);
+    if let Some(prec) = precedence {
+        problem = problem.with_precedence(prec);
+    }
     let shape_ok = |c: &&Chromosome| {
         c.n_tasks() as usize == batch.len()
             && c.n_procs() as usize == procs.len()

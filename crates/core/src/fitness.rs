@@ -40,10 +40,23 @@
 //! re-sum keeps every path bit-identical to [`fill_completions`] (the
 //! bitwise oracle, exercised by the proptests).
 //!
+//! # Precedence-constrained batches
+//!
+//! [`BatchProblem::with_precedence`] attaches a batch-local DAG
+//! ([`dts_ga::SlotPrecedence`], typically built with [`slot_precedence`]):
+//! completion times then charge each task the later of its queue
+//! availability and its predecessors' finish times, the engine repairs
+//! every chromosome into topological order
+//! ([`dts_ga::repair_topological`]), and the queue-local incremental
+//! paths (swap delta, §3.5 rebalance) decline because a task's cost now
+//! couples queues. An unconstrained table is dropped entirely, so
+//! edge-free workloads execute exactly the code described above — the
+//! no-edges bit-identity contract.
+//!
 //! [`fill_completions`]: BatchProblem::completion_times
 
-use dts_ga::{Chromosome, Gene, Problem};
-use dts_model::Task;
+use dts_ga::{repair_topological, Chromosome, Gene, Problem, SlotPrecedence};
+use dts_model::{Task, TaskGraph};
 
 use crate::config::PnConfig;
 use crate::rebalance::rebalance_once;
@@ -106,6 +119,11 @@ pub struct BatchProblem<'a> {
     comm: Vec<f64>,
     /// Per-processor `δⱼ`, computed once at construction.
     delta: Vec<f64>,
+    /// Batch-local precedence constraints, when the batch is a DAG slice.
+    /// `None` — the paper's independent-task model — routes every
+    /// evaluation through the original code path, so precedence support
+    /// is structurally invisible to edge-free workloads.
+    precedence: Option<&'a SlotPrecedence>,
 }
 
 /// Stack buffer size for per-processor completion times: clusters up to
@@ -175,7 +193,41 @@ impl<'a> BatchProblem<'a> {
             rate,
             comm,
             delta,
+            precedence: None,
         }
+    }
+
+    /// Attaches batch-local precedence constraints: completion times then
+    /// charge each task the later of its queue position and its
+    /// predecessors' finish times (the §3.2 sums become exact schedule
+    /// lower bounds), and the problem implements [`Problem::repair`] with
+    /// the topological gene repair so the engine only ever evaluates
+    /// feasible orders.
+    ///
+    /// An unconstrained table is dropped (`None`): an edge-free DAG must
+    /// take exactly the independent-task code path, not a behaviourally
+    /// equivalent one — that structural delegation is what the
+    /// no-edges bit-identity tests pin down. In DAG mode the incremental
+    /// fast paths that assume queue-local costs (swap delta-evaluation and
+    /// the §3.5 rebalance) decline, so every evaluation is the full
+    /// precedence-aware walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table's slot count differs from the batch length.
+    pub fn with_precedence(mut self, precedence: &'a SlotPrecedence) -> Self {
+        assert_eq!(
+            precedence.n_slots(),
+            self.batch.len(),
+            "precedence table must span exactly the batch"
+        );
+        self.precedence = (!precedence.is_unconstrained()).then_some(precedence);
+        self
+    }
+
+    /// The attached precedence table, if the batch is constrained.
+    pub fn precedence(&self) -> Option<&SlotPrecedence> {
+        self.precedence
     }
 
     /// ψ — the theoretical optimal processing time (§3.2).
@@ -209,6 +261,15 @@ impl<'a> BatchProblem<'a> {
     /// accumulating through `out`, so the results are bit-identical to
     /// the previous memory-accumulating form) over the flat SoA arrays.
     fn fill_completions(&self, c: &Chromosome, out: &mut [f64]) {
+        match self.precedence {
+            None => self.fill_completions_independent(c, out),
+            Some(prec) => self.fill_completions_dag(c, out, prec),
+        }
+    }
+
+    /// The independent-task walk — the original hot path, untouched, and
+    /// the only code edge-free batches ever execute.
+    fn fill_completions_independent(&self, c: &Chromosome, out: &mut [f64]) {
         debug_assert_eq!(out.len(), self.rate.len());
         let mut q = 0usize;
         let mut acc = self.delta[0];
@@ -216,6 +277,41 @@ impl<'a> BatchProblem<'a> {
             match g {
                 Gene::Task(t) => {
                     acc += self.mflops[t as usize] / self.rate[q] + self.comm[q];
+                }
+                Gene::Delim(_) => {
+                    out[q] = acc;
+                    q += 1;
+                    acc = self.delta[q];
+                }
+            }
+        }
+        out[q] = acc;
+    }
+
+    /// The precedence-aware walk: each task starts at the later of its
+    /// queue's current availability and its predecessors' finish times, so
+    /// per-processor completion times — and therefore the makespan — are
+    /// exact for the precedence-constrained schedule, not optimistic
+    /// queue-sum lower bounds. The repaired gene string is globally
+    /// topological (every predecessor appears earlier), which is what
+    /// makes one left-to-right pass sufficient. Per-task finish times live
+    /// in a per-call buffer, keeping the walk `Sync` for the parallel
+    /// evaluator.
+    fn fill_completions_dag(&self, c: &Chromosome, out: &mut [f64], prec: &SlotPrecedence) {
+        debug_assert_eq!(out.len(), self.rate.len());
+        let mut finish = vec![0.0f64; self.mflops.len()];
+        let mut q = 0usize;
+        let mut acc = self.delta[0];
+        for &g in c.genes() {
+            match g {
+                Gene::Task(t) => {
+                    let mut start = acc;
+                    for &p in prec.preds_of(t) {
+                        start = start.max(finish[p as usize]);
+                    }
+                    let fin = start + (self.mflops[t as usize] / self.rate[q] + self.comm[q]);
+                    finish[t as usize] = fin;
+                    acc = fin;
                 }
                 Gene::Delim(_) => {
                     out[q] = acc;
@@ -396,6 +492,13 @@ impl Problem for BatchProblem<'_> {
         j: usize,
         completions: &mut [f64],
     ) -> Option<(f64, f64)> {
+        // A precedence-constrained batch has cross-queue coupling: a
+        // task's start depends on predecessor finishes in other queues, so
+        // queue-local re-summing is unsound. Decline and let the engine
+        // fall back to the full DAG walk.
+        if self.precedence.is_some() {
+            return None;
+        }
         if completions.len() != self.rate.len() || i == j {
             return None;
         }
@@ -456,7 +559,23 @@ impl Problem for BatchProblem<'_> {
             h = mix(h, self.delta[j].to_bits());
             h = mix(h, self.comm[j].to_bits());
         }
+        // Precedence constraints change what a chromosome evaluates to, so
+        // they are part of the evaluation context. The unconstrained case
+        // folds nothing — bit-identical to the pre-DAG key.
+        if let Some(prec) = self.precedence {
+            h = mix(h, prec.digest());
+        }
         h
+    }
+
+    /// Topological gene repair ([`repair_topological`]) when the batch is
+    /// precedence-constrained; the no-op identity otherwise, preserving
+    /// the independent-task engine behaviour bit for bit.
+    fn repair(&self, c: &mut Chromosome) -> bool {
+        match self.precedence {
+            Some(prec) => repair_topological(c, prec),
+            None => false,
+        }
     }
 
     /// The §3.5 rebalancing heuristic, applied `rebalances` times. The
@@ -470,7 +589,11 @@ impl Problem for BatchProblem<'_> {
         completions: &mut Vec<f64>,
         rng: &mut Prng,
     ) -> Option<(f64, f64)> {
-        if self.rebalances == 0 {
+        // The §3.5 rebalance costs candidate moves with queue-local sums,
+        // which ignore cross-queue precedence coupling; in DAG mode it is
+        // disabled rather than allowed to report fitnesses the full walk
+        // would contradict.
+        if self.rebalances == 0 || self.precedence.is_some() {
             return None;
         }
         // Individuals evaluated through `evaluate_into` arrive with their
@@ -493,6 +616,32 @@ impl Problem for BatchProblem<'_> {
             (fitness, makespan)
         })
     }
+}
+
+/// Restricts a workload-wide [`TaskGraph`] to one batch: slot `k` of the
+/// resulting table corresponds to `batch[k]`, and a predecessor appears
+/// only when it is itself in the batch — tasks outside the batch are
+/// already complete (the simulator admits a task only after all of its
+/// predecessors finish) or are handled by the caller, so they impose no
+/// intra-batch ordering. A batch with no surviving edges yields an
+/// unconstrained table, which [`BatchProblem::with_precedence`] treats as
+/// "no constraints at all".
+pub fn slot_precedence(batch: &[Task], graph: &TaskGraph) -> SlotPrecedence {
+    let mut slot_of = std::collections::HashMap::with_capacity(batch.len());
+    for (k, t) in batch.iter().enumerate() {
+        slot_of.insert(t.id.0, k as u32);
+    }
+    let preds = batch
+        .iter()
+        .map(|t| {
+            graph
+                .preds(t.id.0)
+                .iter()
+                .filter_map(|p| slot_of.get(p).copied())
+                .collect()
+        })
+        .collect();
+    SlotPrecedence::new(preds)
 }
 
 #[cfg(test)]
@@ -737,6 +886,78 @@ mod tests {
             deltas_taken > 100,
             "task–task swaps should dominate ({deltas_taken}/500 deltas)"
         );
+    }
+
+    #[test]
+    fn unconstrained_precedence_is_structurally_dropped() {
+        let batch = [task(0, 100.0), task(1, 100.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(100.0, 0.0, 0.0)];
+        let prec = SlotPrecedence::unconstrained(2);
+        let p = BatchProblem::new(&batch, &procs, &config()).with_precedence(&prec);
+        assert!(p.precedence().is_none(), "edge-free table must be dropped");
+        // Identical epoch key to a problem never given a table: the memo
+        // epoch is part of the no-edges bit-identity contract.
+        let plain = BatchProblem::new(&batch, &procs, &config());
+        assert_eq!(p.epoch_key(), plain.epoch_key());
+    }
+
+    #[test]
+    fn dag_completion_times_charge_predecessor_finish() {
+        // Slot 1 depends on slot 0, the two run on different processors:
+        // C1 must wait for slot 0's finish instead of starting at δ.
+        let batch = [task(0, 200.0), task(1, 100.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(100.0, 0.0, 0.0)];
+        let prec = SlotPrecedence::new(vec![vec![], vec![0]]);
+        let p = BatchProblem::new(&batch, &procs, &config()).with_precedence(&prec);
+        let c = Chromosome::from_queues(&[vec![0], vec![1]]);
+        let mut out = Vec::new();
+        p.completion_times(&c, &mut out);
+        // Slot 0 finishes at 2.0 on proc 0; slot 1 then runs 1.0 s on
+        // proc 1, finishing at 3.0 — not at 1.0 as the independent walk
+        // would claim.
+        assert!((out[0] - 2.0).abs() < 1e-12);
+        assert!((out[1] - 3.0).abs() < 1e-12);
+        // Makespan reflects the precedence stall exactly.
+        assert!((p.makespan(&c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_mode_declines_incremental_paths_and_repairs() {
+        let batch = [task(0, 100.0), task(1, 100.0), task(2, 100.0)];
+        let procs = [proc(100.0, 0.0, 0.0), proc(100.0, 0.0, 0.0)];
+        let prec = SlotPrecedence::new(vec![vec![], vec![0], vec![0]]);
+        let p = BatchProblem::new(&batch, &procs, &config()).with_precedence(&prec);
+        // Swap delta declines: cross-queue coupling.
+        let mut c = Chromosome::from_queues(&[vec![0, 1], vec![2]]);
+        let mut comps = Vec::new();
+        p.evaluate_into(&c, &mut comps);
+        c.genes_swap(0, 1);
+        assert!(p.evaluate_swap_delta(&c, 0, 1, &mut comps).is_none());
+        // Repair is wired through the Problem trait: the swapped order
+        // (1 before 0) violates the chain and is pulled back.
+        assert!(p.repair(&mut c));
+        assert_eq!(c.to_queues(), vec![vec![0, 1], vec![2]]);
+        assert!(!p.repair(&mut c), "feasible order is the fixed point");
+        // Improve declines in DAG mode.
+        let mut rng = dts_distributions::Prng::seed_from(7);
+        let (f, _) = p.evaluate_into(&c, &mut comps);
+        assert!(p.improve(&mut c, f, &mut comps, &mut rng).is_none());
+    }
+
+    #[test]
+    fn slot_precedence_maps_graph_edges_into_the_batch() {
+        use dts_model::TaskGraph;
+        // Global graph 0→1→2; the batch holds tasks 1 and 2 only, so the
+        // edge 0→1 drops (0 is outside, i.e. already complete) and 1→2
+        // maps to slots 0→1.
+        let graph = TaskGraph::new(3, &[(0, 1), (1, 2)]).unwrap();
+        let batch = [task(1, 10.0), task(2, 10.0)];
+        let prec = slot_precedence(&batch, &graph);
+        assert_eq!(prec.preds_of(0), &[] as &[u32]);
+        assert_eq!(prec.preds_of(1), &[0]);
+        // An all-edges-dropped batch yields the unconstrained table.
+        let tail = [task(2, 10.0)];
+        assert!(slot_precedence(&tail, &graph).is_unconstrained());
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use batch_run::{
     BatchOutcome,
 };
 pub use config::{PnConfig, SeedStrategy};
-pub use fitness::{BatchProblem, ProcessorState};
+pub use fitness::{slot_precedence, BatchProblem, ProcessorState};
 pub use init::{remap_elite, remap_islands};
 pub use plan::{plan_batch, PlanBudget, PlanRequest};
 pub use scheduler::PnScheduler;

@@ -21,7 +21,7 @@
 
 use std::time::Duration;
 
-use dts_ga::Chromosome;
+use dts_ga::{Chromosome, SlotPrecedence};
 use dts_model::Task;
 
 use crate::batch_run::{run_batch_ga, BatchOutcome};
@@ -83,6 +83,12 @@ pub struct PlanRequest<'a> {
     /// first list; empty means fresh. `warm_seeds` takes precedence for
     /// monolithic runs, `warm_islands` for sharded ones.
     pub warm_islands: &'a [Vec<Chromosome>],
+    /// Batch-local precedence constraints for DAG planning
+    /// ([`crate::fitness::slot_precedence`] builds one from a
+    /// [`dts_model::TaskGraph`]). `None` — and, equivalently, an
+    /// unconstrained table — is the paper's independent-task model and
+    /// runs the original pipeline bit for bit.
+    pub precedence: Option<&'a SlotPrecedence>,
     /// The latency budget for this call.
     pub budget: PlanBudget,
     /// Seed of the per-call RNG stream (drives population init and all
@@ -99,9 +105,17 @@ impl<'a> PlanRequest<'a> {
             procs,
             warm_seeds: &[],
             warm_islands: &[],
+            precedence: None,
             budget: PlanBudget::Unlimited,
             seed,
         }
+    }
+
+    /// Sets batch-local precedence constraints, turning this into a DAG
+    /// planning request.
+    pub fn with_precedence(mut self, precedence: &'a SlotPrecedence) -> Self {
+        self.precedence = Some(precedence);
+        self
     }
 
     /// Sets the warm-start seeds.
@@ -140,6 +154,7 @@ pub fn plan_batch(req: &PlanRequest<'_>, config: &PnConfig) -> BatchOutcome {
         &SwapMutation,
         req.warm_seeds,
         req.warm_islands,
+        req.precedence,
         req.budget.generation_cap(),
         req.budget.time_limit(),
         req.seed,

@@ -174,6 +174,7 @@ impl Scheduler for PnScheduler {
             &SwapMutation,
             &[],
             &warm_islands,
+            None,
             Some(budget),
             None,
             seed,

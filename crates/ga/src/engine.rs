@@ -132,6 +132,27 @@ pub trait Problem {
         0
     }
 
+    /// Repairs `c` into the problem's feasible region, returning whether
+    /// the chromosome changed. The engine calls this on every chromosome
+    /// it creates — initial-population clones, crossover offspring, and
+    /// mutants — *before* (re-)evaluating it, so feasibility is an
+    /// invariant of the evaluated population: clones of already-repaired
+    /// parents never need repairing again.
+    ///
+    /// Implementations must be deterministic, draw no randomness, and be
+    /// the identity on already-feasible chromosomes (returning `false`);
+    /// precedence-aware problems use
+    /// [`crate::repair::repair_topological`]. When a mutation's edit is
+    /// repaired away (`true` is returned after a mutation), the engine
+    /// discards any incremental edit information and fully re-evaluates
+    /// the individual — a repaired chromosome is never delta-evaluated.
+    /// The default is a no-op, which preserves the independent-task
+    /// engine behaviour bit for bit.
+    fn repair(&self, c: &mut Chromosome) -> bool {
+        let _ = c;
+        false
+    }
+
     /// Optional local improvement applied to every individual in every
     /// generation (the §3.5 rebalancing heuristic). Implementations mutate
     /// `c` in place **only** when the result is fitter, returning the new
@@ -502,9 +523,15 @@ impl<'a> GaEngine<'a> {
         memo.begin_epoch(problem.epoch_key());
 
         // Materialise the working population, cycling the seeds if needed;
-        // the whole initial batch is evaluated through the context.
+        // every seed is repaired into the feasible region (a no-op for
+        // problems without constraints) and the whole initial batch is
+        // evaluated through the context.
         let init_jobs: Vec<(usize, Chromosome)> = (0..pop_size)
-            .map(|i| (i, initial[i % initial.len()].clone()))
+            .map(|i| {
+                let mut c = initial[i % initial.len()].clone();
+                problem.repair(&mut c);
+                (i, c)
+            })
             .collect();
         let mut init_slots: Vec<Option<Individual>> = (0..pop_size).map(|_| None).collect();
         for e in eval_indexed(eval, &mut memo, init_jobs) {
@@ -724,7 +751,12 @@ impl<'r, P: Problem> GaRun<'r, P> {
             let pa = engine.selection.select(&self.fitness_buf, rng);
             let pb = engine.selection.select(&self.fitness_buf, rng);
             if rng.chance(config.crossover_rate) {
-                let (ca, cb) = engine.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
+                // Offspring are repaired into the feasible region before
+                // evaluation (identity for unconstrained problems); clones
+                // need no repair because their parents already live there.
+                let (mut ca, mut cb) = engine.crossover.cross(&pop[pa].chrom, &pop[pb].chrom, rng);
+                problem.repair(&mut ca);
+                problem.repair(&mut cb);
                 offspring.push((next.len(), ca));
                 next.push(None);
                 if next.len() < pop_size {
@@ -762,10 +794,15 @@ impl<'r, P: Problem> GaRun<'r, P> {
         for _ in 0..config.mutations_per_generation {
             let idx = rng.below(pop.len());
             let edit = engine.mutation.mutate_tracked(&mut pop[idx].chrom, rng);
+            // A mutation can push the chromosome out of the feasible
+            // region; repair pulls it back (no-op for unconstrained
+            // problems). A repaired chromosome differs from the tracked
+            // edit, so it is never delta-evaluated — it goes dirty.
+            let repaired = problem.repair(&mut pop[idx].chrom);
             let already_dirty = dirty.contains(&idx);
             let delta = match edit {
-                GeneEdit::Unchanged => continue,
-                GeneEdit::Swap { i, j } if !already_dirty => {
+                GeneEdit::Unchanged if !repaired => continue,
+                GeneEdit::Swap { i, j } if !already_dirty && !repaired => {
                     let ind = &mut pop[idx];
                     problem.evaluate_swap_delta(&ind.chrom, i, j, &mut ind.completions)
                 }

@@ -15,6 +15,10 @@
 //! * [`crossover`] — cycle crossover (Oliver et al., as used in the paper),
 //!   plus order crossover and a one-point/repair variant for ablations.
 //! * [`mutation`] — random swap (the paper's choice) and insert mutation.
+//! * [`repair`] — deterministic topological gene repair for
+//!   precedence-constrained batches: the engine repairs every chromosome
+//!   it creates ([`Problem::repair`]), making feasibility an invariant of
+//!   the evaluated population instead of a penalty term.
 //! * [`engine`] — the generation loop with elitism, per-generation local
 //!   improvement hooks (for §3.5's rebalancing heuristic), statistics
 //!   history, and the §3.4 stopping conditions.
@@ -64,6 +68,7 @@ pub mod evaluate;
 pub mod islands;
 pub mod memo;
 pub mod mutation;
+pub mod repair;
 pub mod selection;
 
 pub use crossover::{CrossoverOp, CycleCrossover, OnePointOrder, OrderCrossover, PartiallyMapped};
@@ -75,4 +80,5 @@ pub use islands::{
 };
 pub use memo::{FitnessMemo, DEFAULT_MEMO_CAPACITY};
 pub use mutation::{GeneEdit, InsertMutation, InversionMutation, MutationOp, SwapMutation};
+pub use repair::{repair_topological, SlotPrecedence};
 pub use selection::{RankSelection, RouletteWheel, SelectionOp, Tournament};

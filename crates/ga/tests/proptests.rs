@@ -4,9 +4,9 @@
 
 use dts_distributions::{Prng, Rng};
 use dts_ga::{
-    migrate_populations, Chromosome, CrossoverOp, CycleCrossover, Evaluator, GaConfig, GaEngine,
-    InsertMutation, MutationOp, OnePointOrder, OrderCrossover, Problem, RankSelection,
-    RouletteWheel, SelectionOp, SwapMutation, Topology, Tournament,
+    migrate_populations, repair_topological, Chromosome, CrossoverOp, CycleCrossover, Evaluator,
+    GaConfig, GaEngine, Gene, InsertMutation, MutationOp, OnePointOrder, OrderCrossover, Problem,
+    RankSelection, RouletteWheel, SelectionOp, SlotPrecedence, SwapMutation, Topology, Tournament,
 };
 use proptest::prelude::*;
 
@@ -345,5 +345,103 @@ proptest! {
         prop_assert!(migrate_populations(&mut one, migrants.max(1), Topology::Ring).is_err());
         let mut none: Vec<Vec<(f64, u32)>> = Vec::new();
         prop_assert!(migrate_populations(&mut none, migrants.max(1), Topology::Ring).is_err());
+    }
+}
+
+/// Strategy for repair: a random chromosome plus a random acyclic
+/// precedence relation over its task slots (every generated edge points
+/// from a smaller to a larger slot id, so acyclicity holds by
+/// construction while still exercising arbitrary partial orders).
+fn repair_strategy() -> impl Strategy<Value = (Chromosome, Vec<(u32, u32)>)> {
+    (
+        2u32..60,
+        1u16..8,
+        proptest::collection::vec(0u16..8, 1..60),
+        proptest::collection::vec((0u32..60, 0u32..60), 0..120),
+    )
+        .prop_map(|(h, m, deal, raw)| {
+            let c = chromosome(h, m, deal);
+            let pairs: Vec<(u32, u32)> = raw
+                .into_iter()
+                .filter_map(|(a, b)| {
+                    let (a, b) = (a % h, b % h);
+                    match a.cmp(&b) {
+                        std::cmp::Ordering::Less => Some((a, b)),
+                        std::cmp::Ordering::Greater => Some((b, a)),
+                        std::cmp::Ordering::Equal => None,
+                    }
+                })
+                .collect();
+            (c, pairs)
+        })
+}
+
+/// The slot count and delimiter positions of a chromosome's gene string.
+fn shape_of(c: &Chromosome) -> (usize, Vec<usize>) {
+    let mut tasks = 0usize;
+    let mut delims = Vec::new();
+    for (i, g) in c.genes().iter().enumerate() {
+        match g {
+            Gene::Task(_) => tasks += 1,
+            Gene::Delim(_) => delims.push(i),
+        }
+    }
+    (tasks, delims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The repair operator's contract: for any chromosome and any acyclic
+    /// precedence relation, the repaired chromosome (a) is still a valid
+    /// permutation with the same task multiset, (b) keeps every delimiter
+    /// in place (queue lengths are untouched), (c) lists every task after
+    /// all of its predecessors, and (d) is a fixed point — repairing
+    /// twice changes nothing, so the operator is deterministic and
+    /// convergent.
+    #[test]
+    fn repair_emits_topologically_valid_multiset_preserving_orders(
+        (original, pairs) in repair_strategy(),
+    ) {
+        let (h, delims_before) = shape_of(&original);
+        let mut preds = vec![Vec::new(); h];
+        for &(p, s) in &pairs {
+            preds[s as usize].push(p);
+        }
+        let prec = SlotPrecedence::new(preds);
+
+        let mut repaired = original.clone();
+        let changed = repair_topological(&mut repaired, &prec);
+
+        // (a) Permutation invariant and multiset preservation.
+        prop_assert!(repaired.validate().is_ok());
+        prop_assert!(repaired.same_symbol_set(&original));
+        // (b) Delimiters (queue lengths) are untouched.
+        let (h_after, delims_after) = shape_of(&repaired);
+        prop_assert_eq!(h, h_after);
+        prop_assert_eq!(delims_before, delims_after);
+        // (c) Topological validity of the flattened gene order.
+        let mut emitted = vec![false; h];
+        for g in repaired.genes() {
+            if let Gene::Task(t) = g {
+                for &p in prec.preds_of(*t) {
+                    prop_assert!(
+                        emitted[p as usize],
+                        "task {} emitted before predecessor {}", t, p
+                    );
+                }
+                emitted[*t as usize] = true;
+            }
+        }
+        // (d) Idempotence, and the change flag tells the truth.
+        let mut again = repaired.clone();
+        prop_assert!(!repair_topological(&mut again, &prec), "repair of a repaired chromosome must be a no-op");
+        prop_assert_eq!(&again, &repaired);
+        prop_assert_eq!(changed, repaired != original, "change flag must reflect an actual edit");
+        // An unconstrained relation never edits anything.
+        if pairs.is_empty() {
+            prop_assert!(!changed);
+            prop_assert_eq!(&repaired, &original);
+        }
     }
 }

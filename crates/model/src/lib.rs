@@ -6,9 +6,13 @@
 //!
 //! * [`time::SimTime`] — simulated seconds with a total order usable in an
 //!   event queue.
-//! * [`task::Task`] — an indivisible, independent task whose resource
-//!   requirement is measured in MFLOPs (millions of floating-point
-//!   operations), exactly as in the paper (§3).
+//! * [`task::Task`] — an indivisible task whose resource requirement is
+//!   measured in MFLOPs (millions of floating-point operations), exactly
+//!   as in the paper (§3).
+//! * [`graph::TaskGraph`] — optional precedence edges, priorities, and
+//!   deadlines over a workload's dense task ids (cycle-rejecting, DAG by
+//!   construction). An edge-free graph is the paper's independent-task
+//!   model and downstream layers treat it as a structural no-op.
 //! * [`processor`] — heterogeneous processors rated in Mflop/s with
 //!   time-varying availability models (the paper's "processors are not
 //!   dedicated" assumption).
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod graph;
 pub mod link;
 pub mod processor;
 pub mod sched;
@@ -53,6 +58,7 @@ pub mod time;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterSpec};
+pub use graph::{DagFamily, GraphError, TaskGraph};
 pub use link::{CommCostSpec, Link};
 pub use processor::{AvailabilityModel, AvailabilityState, Processor, ProcessorId};
 pub use sched::{PlanOutcome, Scheduler, SchedulerMode, SystemView, TaskQueues};

@@ -1,11 +1,16 @@
 //! Tasks: the unit of work.
 //!
-//! Per §3 of the paper, tasks are **indivisible**, **independent of all
-//! other tasks**, **arrive randomly**, and can be processed by any processor
-//! in the distributed system. Each task has a resource requirement measured
-//! in MFLOPs (millions of floating-point operations); a processor rated at
-//! `P` Mflop/s completes a `t`-MFLOP task in `t / P` seconds when fully
-//! available.
+//! Per §3 of the paper, tasks are **indivisible**, **arrive randomly**, and
+//! can be processed by any processor in the distributed system. Each task
+//! has a resource requirement measured in MFLOPs (millions of
+//! floating-point operations); a processor rated at `P` Mflop/s completes a
+//! `t`-MFLOP task in `t / P` seconds when fully available.
+//!
+//! The paper additionally assumes tasks are independent of one another;
+//! this reproduction relaxes that: precedence constraints, priorities, and
+//! deadlines live in a separate [`crate::TaskGraph`] keyed by the dense
+//! [`TaskId`] indices, so a workload without a graph (or with an edge-free
+//! one) is exactly the paper's independent-task model.
 
 use crate::time::SimTime;
 

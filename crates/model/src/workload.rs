@@ -23,6 +23,7 @@ use dts_distributions::{
     Uniform,
 };
 
+use crate::graph::{DagFamily, TaskGraph};
 use crate::task::{Task, TaskId};
 use crate::time::SimTime;
 
@@ -240,6 +241,28 @@ impl WorkloadSpec {
             })
             .collect()
     }
+
+    /// Generates the task set **and** a precedence graph over it from one
+    /// of the DAG scenario families. The tasks are exactly
+    /// [`WorkloadSpec::generate`]`(seed)` — bit-identical, so a DAG run
+    /// and an independent-task run over the same `(spec, seed)` schedule
+    /// the same work — and the graph is built by
+    /// [`DagFamily::build`] over the same count with a seed fanned out of
+    /// `seed` (deterministic, independent of the size/arrival streams).
+    ///
+    /// Family edges always point from lower to higher task id, and ids are
+    /// dense in arrival order, so under any arrival process a predecessor
+    /// never arrives after its successor's dependency is first needed.
+    pub fn generate_dag(&self, family: &DagFamily, seed: u64) -> (Vec<Task>, TaskGraph) {
+        let tasks = self.generate(seed);
+        let mut seq = SeedSequence::new(seed);
+        // Skip the two seeds generate() consumed so the graph stream is
+        // independent of (but still derived from) the workload seed.
+        let _ = seq.next_seed();
+        let _ = seq.next_seed();
+        let graph = family.build(tasks.len(), seq.next_seed());
+        (tasks, graph)
+    }
 }
 
 /// Draws one size, redrawing until it clears [`MIN_TASK_MFLOPS`]
@@ -397,6 +420,28 @@ mod tests {
     fn generate_rejects_sub_floor_spec() {
         let spec = WorkloadSpec::batch(10, SizeDistribution::Uniform { lo: 0.0, hi: 0.5 });
         let _ = spec.generate(1);
+    }
+
+    #[test]
+    fn dag_workload_reuses_the_plain_task_stream() {
+        let spec = WorkloadSpec::batch(
+            30,
+            SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 100.0,
+            },
+        );
+        let family = DagFamily::RandomLayered {
+            layers: 3,
+            edge_probability: 0.5,
+        };
+        let (tasks, graph) = spec.generate_dag(&family, 11);
+        assert_eq!(tasks, spec.generate(11), "tasks must be bit-identical");
+        assert_eq!(graph.len(), 30);
+        assert!(graph.has_edges());
+        let (again_t, again_g) = spec.generate_dag(&family, 11);
+        assert_eq!(tasks, again_t);
+        assert_eq!(graph, again_g, "same seed, same graph");
     }
 
     #[test]

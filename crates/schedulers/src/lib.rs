@@ -25,6 +25,17 @@
 //! All of them implement [`dts_model::Scheduler`] and therefore run on the
 //! same simulator, see the same [`dts_model::SystemView`] estimates, and
 //! pay for their decisions through the same compute-cost accounting.
+//!
+//! # Readiness contract (precedence-constrained workloads)
+//!
+//! None of these schedulers inspect a [`dts_model::TaskGraph`]; they do
+//! not need to. The simulator enforces precedence at **admission**: under
+//! `Simulation::new_with_graph` a task is only `enqueue`d once it has
+//! arrived *and* every predecessor's result is back, so a scheduler's
+//! candidate set is always exactly the ready tasks. Every baseline here
+//! is therefore precedence-correct for free — it can never dispatch a
+//! task before its inputs exist — and sees an edge-free workload exactly
+//! as before (the readiness check is a no-op branch).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

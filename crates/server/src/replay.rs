@@ -42,10 +42,14 @@ impl ReplayReport {
 
 /// Replays a recorded trace against a fresh server.
 ///
-/// Tenants are assigned round-robin by trace task id (deterministic).
-/// Errors propagate rather than panic; with `tenant_capacity ≥
-/// batch_size` a replay can never shed (planning always frees the
-/// pending queue before any tenant's bound is reached).
+/// Tenants are assigned round-robin by trace task id (deterministic). A
+/// v2 trace's dependency lists are forwarded via
+/// [`DtsServer::submit_with_deps`], so dependent tasks are only batched
+/// strictly after the batch that placed their predecessors; a v1 trace
+/// takes the plain [`DtsServer::submit`] path. Errors propagate rather
+/// than panic; with `tenant_capacity ≥ batch_size` a dependency-free
+/// replay can never shed (planning always frees the pending queue before
+/// any tenant's bound is reached).
 pub fn replay_trace(
     trace: &ArrivalTrace,
     config: ServerConfig,
@@ -54,10 +58,16 @@ pub fn replay_trace(
     let mut server = DtsServer::new(config);
     let mut placements = Vec::with_capacity(trace.len());
     for t in trace.tasks() {
-        server.submit(
+        let deps: Vec<dts_model::TaskId> = trace
+            .deps_of(t.id.0)
+            .iter()
+            .map(|&d| dts_model::TaskId(d))
+            .collect();
+        server.submit_with_deps(
             TenantId((t.id.0 % tenants) as u16),
             t.mflops,
             t.arrival.seconds(),
+            &deps,
         )?;
         while server.ready_to_plan() {
             placements.extend(server.plan());
@@ -152,6 +162,46 @@ mod tests {
             replay_trace(&t, config()).unwrap(),
             replay_trace(&reparsed, config()).unwrap()
         );
+    }
+
+    #[test]
+    fn v2_trace_dependencies_gate_batching() {
+        use dts_model::graph::DagFamily;
+        // 20 tasks in a fork-join DAG: the join task depends on every
+        // fork, so it must land in a later batch than all of them.
+        let tasks = WorkloadSpec {
+            count: 20,
+            sizes: SizeDistribution::Uniform {
+                lo: 10.0,
+                hi: 1000.0,
+            },
+            arrival: ArrivalProcess::PoissonStream {
+                mean_interarrival: 0.2,
+            },
+        }
+        .generate(17);
+        let graph = DagFamily::ForkJoin { width: 6 }.build(20, 17);
+        let t = ArrivalTrace::from_tasks_with_graph(&tasks, &graph).unwrap();
+        let report = replay_trace(&t, config()).unwrap();
+        assert_eq!(report.placements.len(), 20);
+        let batch_of = |id: u32| {
+            report
+                .placements
+                .iter()
+                .find(|p| p.task.id.0 == id)
+                .unwrap()
+                .batch
+        };
+        for (p, s) in graph.edge_list() {
+            assert!(
+                batch_of(s) > batch_of(p),
+                "task {s} batched at {} not after predecessor {p} at {}",
+                batch_of(s),
+                batch_of(p)
+            );
+        }
+        // Replay of a dependency trace is still deterministic.
+        assert_eq!(report, replay_trace(&t, config()).unwrap());
     }
 
     #[test]

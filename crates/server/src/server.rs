@@ -63,6 +63,13 @@ pub enum SubmitError {
         /// What was wrong.
         reason: String,
     },
+    /// A declared dependency is invalid: it must name a task id the
+    /// server has already assigned (acyclicity by construction), with no
+    /// duplicates.
+    InvalidDependency {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -77,6 +84,9 @@ impl fmt::Display for SubmitError {
                  back off and retry"
             ),
             SubmitError::InvalidTask { reason } => write!(f, "invalid task: {reason}"),
+            SubmitError::InvalidDependency { reason } => {
+                write!(f, "invalid dependency: {reason}")
+            }
         }
     }
 }
@@ -201,10 +211,13 @@ pub struct ServerStats {
 }
 
 /// One admitted-but-unplanned submission.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Pending {
     tenant: TenantId,
     task: Task,
+    /// Server-assigned ids of tasks whose placement must precede this
+    /// one's batching (each strictly smaller than `task.id`).
+    deps: Vec<u32>,
 }
 
 /// The event-driven scheduler service core. See the module docs for the
@@ -230,6 +243,10 @@ pub struct DtsServer {
     /// mirroring [`dts_core::PnScheduler`] so the oracle equivalence
     /// holds for sharded configurations too.
     carried: Option<Vec<Vec<Chromosome>>>,
+    /// Ids committed by completed plan calls — the set dependency
+    /// eligibility is checked against, so a dependent task is only
+    /// batched strictly after the batch that placed its predecessors.
+    placed_ids: std::collections::HashSet<u32>,
     stats: ServerStats,
 }
 
@@ -252,6 +269,7 @@ impl DtsServer {
             queues: TaskQueues::new(n),
             rng,
             carried: None,
+            placed_ids: std::collections::HashSet::new(),
             stats: ServerStats::default(),
         }
     }
@@ -305,6 +323,41 @@ impl DtsServer {
         mflops: f64,
         arrival_s: f64,
     ) -> Result<TaskId, SubmitError> {
+        self.submit_with_deps(tenant, mflops, arrival_s, &[])
+    }
+
+    /// [`DtsServer::submit`] with precedence metadata: the task will not
+    /// be batched until every task in `deps` has been placed by a
+    /// *strictly earlier* plan call, so a dependent task can never land
+    /// in the same batch as (or before) a predecessor. Dependencies must
+    /// name already-assigned task ids — acyclicity by construction, the
+    /// same invariant as the v2 arrival-trace format. Because pending
+    /// submissions are held in id order and dependencies point backwards,
+    /// the head of the queue is always eligible: planning makes progress
+    /// and [`DtsServer::drain`] terminates for every valid submission
+    /// sequence.
+    pub fn submit_with_deps(
+        &mut self,
+        tenant: TenantId,
+        mflops: f64,
+        arrival_s: f64,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SubmitError> {
+        for (k, d) in deps.iter().enumerate() {
+            if d.0 >= self.next_id {
+                return Err(SubmitError::InvalidDependency {
+                    reason: format!(
+                        "dependency {} has not been submitted yet (next id is {})",
+                        d.0, self.next_id
+                    ),
+                });
+            }
+            if deps[..k].contains(d) {
+                return Err(SubmitError::InvalidDependency {
+                    reason: format!("dependency {} listed twice", d.0),
+                });
+            }
+        }
         if tenant.0 as usize >= self.config.tenants {
             return Err(SubmitError::UnknownTenant {
                 tenant,
@@ -338,6 +391,7 @@ impl DtsServer {
         self.pending.push_back(Pending {
             tenant,
             task: Task::new(id, mflops, SimTime::new(arrival_s)),
+            deps: deps.iter().map(|d| d.0).collect(),
         });
         self.pending_per_tenant[slot] += 1;
         self.stats.submitted += 1;
@@ -381,8 +435,27 @@ impl DtsServer {
         if self.pending.is_empty() {
             return Vec::new();
         }
-        let h = self.config.batch_size.min(self.pending.len());
-        let drained: Vec<Pending> = self.pending.drain(..h).collect();
+        // Batch the FCFS prefix, skipping tasks whose dependencies have
+        // not all been placed by an earlier plan call; skipped tasks keep
+        // their queue position. Dependency-free submissions make every
+        // task eligible, so this drains exactly the plain prefix. The
+        // queue is in id order and dependencies point backwards, so the
+        // head is always eligible and each call places at least one task.
+        let cap = self.config.batch_size;
+        let mut drained: Vec<Pending> = Vec::with_capacity(cap.min(self.pending.len()));
+        let mut kept: VecDeque<Pending> = VecDeque::new();
+        for p in self.pending.drain(..) {
+            let eligible =
+                drained.len() < cap && p.deps.iter().all(|d| self.placed_ids.contains(d));
+            if eligible {
+                drained.push(p);
+            } else {
+                kept.push_back(p);
+            }
+        }
+        self.pending = kept;
+        debug_assert!(!drained.is_empty(), "queue head must always be eligible");
+        let h = drained.len();
         for p in &drained {
             self.pending_per_tenant[p.tenant.0 as usize] -= 1;
         }
@@ -437,6 +510,9 @@ impl DtsServer {
                     makespan_estimate: outcome.best_makespan,
                 });
             }
+        }
+        for p in &drained {
+            self.placed_ids.insert(p.task.id.0);
         }
         self.stats.batches += 1;
         self.stats.placed += h as u64;
@@ -665,6 +741,91 @@ mod tests {
         assert!(carried.iter().flatten().all(|c| c.validate().is_ok()));
         s.drain();
         assert_eq!(s.stats().placed, 12);
+    }
+
+    #[test]
+    fn dependent_task_waits_for_a_strictly_earlier_batch() {
+        let mut s = DtsServer::new(small_config());
+        let a = s.submit(TenantId(0), 100.0, 0.0).unwrap();
+        // Task 1 depends on task 0; five fillers complete the batch.
+        let b = s.submit_with_deps(TenantId(0), 200.0, 0.1, &[a]).unwrap();
+        for i in 0..5 {
+            s.submit(TenantId(1), 50.0 + i as f64, 0.2).unwrap();
+        }
+        // First plan: 7 pending, batch_size 6 — the dependent task is
+        // skipped (its predecessor is in the *same* call), so the batch
+        // is task 0 plus the five fillers.
+        let first = s.plan();
+        assert_eq!(first.len(), 6);
+        assert!(first.iter().any(|e| e.task.id == a));
+        assert!(
+            !first.iter().any(|e| e.task.id == b),
+            "dependent task must not share its predecessor's batch"
+        );
+        assert_eq!(s.pending_len(), 1);
+        // Second plan: the predecessor is placed, the dependent runs.
+        let second = s.plan();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].task.id, b);
+        assert_eq!(second[0].batch, 1);
+    }
+
+    #[test]
+    fn invalid_dependencies_are_rejected() {
+        let mut s = DtsServer::new(small_config());
+        let err = s
+            .submit_with_deps(TenantId(0), 100.0, 0.0, &[TaskId(0)])
+            .unwrap_err();
+        assert!(
+            matches!(err, SubmitError::InvalidDependency { .. }),
+            "self/forward dependency accepted: {err}"
+        );
+        let a = s.submit(TenantId(0), 100.0, 0.0).unwrap();
+        let err = s
+            .submit_with_deps(TenantId(0), 100.0, 0.1, &[a, a])
+            .unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        // Valid backward dependency is accepted.
+        assert!(s.submit_with_deps(TenantId(0), 100.0, 0.2, &[a]).is_ok());
+    }
+
+    #[test]
+    fn empty_deps_path_is_identical_to_plain_submit() {
+        let run = |with_deps: bool| {
+            let mut s = DtsServer::new(small_config());
+            for i in 0..12 {
+                let m = 50.0 + 91.0 * i as f64;
+                if with_deps {
+                    s.submit_with_deps(TenantId(i % 2), m, i as f64, &[])
+                        .unwrap();
+                } else {
+                    s.submit(TenantId(i % 2), m, i as f64).unwrap();
+                }
+            }
+            s.drain()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn chained_dependencies_drain_one_per_batch() {
+        let mut s = DtsServer::new(small_config());
+        let mut prev: Option<TaskId> = None;
+        for i in 0..4 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(
+                s.submit_with_deps(TenantId(0), 100.0, i as f64, &deps)
+                    .unwrap(),
+            );
+        }
+        let events = s.drain();
+        assert_eq!(events.len(), 4);
+        // A pure chain forces one task per plan call, in id order.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.task.id, TaskId(i as u32));
+            assert_eq!(e.batch, i as u64);
+        }
+        assert_eq!(s.stats().batches, 4);
     }
 
     #[test]

@@ -40,6 +40,7 @@ enum Request {
         tenant: TenantId,
         mflops: f64,
         arrival_s: f64,
+        deps: Vec<TaskId>,
         reply: Sender<Result<TaskId, SubmitError>>,
     },
     /// Take the placements emitted since the last take.
@@ -88,12 +89,27 @@ impl ServiceHandle {
         mflops: f64,
         arrival_s: f64,
     ) -> Result<TaskId, SubmitError> {
+        self.submit_with_deps(tenant, mflops, arrival_s, &[])
+    }
+
+    /// Submits one task that depends on previously admitted tasks; see
+    /// [`DtsServer::submit_with_deps`] for the admission and batching
+    /// rules. The placement of a dependent task is only emitted by a
+    /// plan call strictly after the one that placed its predecessors.
+    pub fn submit_with_deps(
+        &self,
+        tenant: TenantId,
+        mflops: f64,
+        arrival_s: f64,
+        deps: &[TaskId],
+    ) -> Result<TaskId, SubmitError> {
         let (reply, rx) = channel();
         self.call(
             Request::Submit {
                 tenant,
                 mflops,
                 arrival_s,
+                deps: deps.to_vec(),
                 reply,
             },
             rx,
@@ -168,9 +184,10 @@ fn service_loop(mut server: DtsServer, rx: Receiver<Request>) {
                 tenant,
                 mflops,
                 arrival_s,
+                deps,
                 reply,
             } => {
-                let result = server.submit(tenant, mflops, arrival_s);
+                let result = server.submit_with_deps(tenant, mflops, arrival_s, &deps);
                 if let Ok(id) = result {
                     admitted_at.insert(id, Instant::now());
                 }
@@ -299,6 +316,41 @@ mod tests {
         assert!(placements
             .iter()
             .all(|p| p.decision_latency < Duration::from_secs(60)));
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn dependent_submission_is_placed_in_a_later_batch() {
+        let (handle, join) = spawn(quick_config()); // batch size 5
+        for i in 0..4u32 {
+            handle
+                .submit(TenantId(0), 100.0 + i as f64, i as f64)
+                .unwrap();
+        }
+        // The fifth submission depends on task 0 and completes a full
+        // batch: the eager plan places the four independents, the
+        // dependent waits for a strictly later batch.
+        let dep = handle
+            .submit_with_deps(TenantId(1), 500.0, 4.0, &[TaskId(0)])
+            .unwrap();
+        assert_eq!(dep, TaskId(4));
+        // Rejections propagate through the channel for deps too.
+        assert!(matches!(
+            handle.submit_with_deps(TenantId(0), 100.0, 5.0, &[TaskId(99)]),
+            Err(SubmitError::InvalidDependency { .. })
+        ));
+        let placements = handle.drain();
+        assert_eq!(placements.len(), 5);
+        let batch_of = |id: u32| {
+            placements
+                .iter()
+                .find(|p| p.event.task.id.0 == id)
+                .unwrap()
+                .event
+                .batch
+        };
+        assert!(batch_of(4) > batch_of(0), "dependent placed strictly later");
         handle.shutdown();
         join.join().unwrap();
     }

@@ -21,26 +21,57 @@
 //! parse → re-record is bit-identical** — the round-trip test locks this
 //! in, and it is what makes a committed trace a stable fixture.
 //!
+//! # Version 2: dependencies
+//!
+//! A `dts-arrival-trace v2` header allows an optional fourth field per
+//! record carrying the task's predecessors:
+//!
+//! ```text
+//! dts-arrival-trace v2
+//! tasks 3
+//! 0 1052.7 0
+//! 1 940.25 0.5 deps=0
+//! 2 87 1.25 deps=0,1
+//! ```
+//!
+//! Every dependency must name a **smaller** task id, which makes any
+//! well-formed v2 trace acyclic by construction. The `deps=` field is
+//! rejected under a v1 header (version gating), so v1 consumers can never
+//! silently drop precedence constraints; a v1 document parses through the
+//! v2-aware parser byte-identically to before. [`ArrivalTrace::serialize`]
+//! emits the v1 header whenever no record carries dependencies — a
+//! dependency-free trace normalises to exactly the v1 bytes.
+//!
 //! Malformed input — bad header, syntax errors, non-monotonic timestamps,
-//! duplicate or out-of-range task ids, non-positive sizes — is rejected
-//! with a diagnosable [`TraceError`] carrying the offending line number,
-//! never a panic.
+//! duplicate or out-of-range task ids, non-positive sizes, bad
+//! dependencies — is rejected with a diagnosable [`TraceError`] carrying
+//! the offending line number, never a panic.
 
 use std::fmt;
 
-use dts_model::{SimTime, Task, TaskId, WorkloadSpec};
+use dts_model::{SimTime, Task, TaskGraph, TaskId, WorkloadSpec};
 
-/// Magic first line of the format (version-suffixed).
+/// Magic first line of the dependency-free format.
 const HEADER: &str = "dts-arrival-trace v1";
+/// Header of the dependency-carrying format.
+const HEADER_V2: &str = "dts-arrival-trace v2";
 
 /// Why a trace failed to parse or validate.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceError {
-    /// The first non-comment line was not the `dts-arrival-trace v1`
-    /// header.
+    /// The first non-comment line was neither the `dts-arrival-trace v1`
+    /// nor the `dts-arrival-trace v2` header.
     BadHeader {
         /// What was found instead (possibly truncated).
         found: String,
+    },
+    /// A record carried a malformed or invalid `deps=` field — including
+    /// any `deps=` field at all under a v1 header.
+    InvalidDependency {
+        /// 1-based line number.
+        line: usize,
+        /// What was invalid.
+        message: String,
     },
     /// A line could not be tokenised into the expected fields.
     Syntax {
@@ -96,8 +127,12 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::BadHeader { found } => {
-                write!(f, "expected header `{HEADER}`, found `{found}`")
+                write!(
+                    f,
+                    "expected header `{HEADER}` or `{HEADER_V2}`, found `{found}`"
+                )
             }
+            TraceError::InvalidDependency { line, message } => write!(f, "line {line}: {message}"),
             TraceError::Syntax { line, message } => write!(f, "line {line}: {message}"),
             TraceError::NonMonotonicArrival {
                 line,
@@ -130,10 +165,15 @@ impl std::error::Error for TraceError {}
 ///
 /// Invariants (enforced by every constructor): records are sorted by
 /// arrival time, ids are dense in `0..len`, sizes are positive and
-/// finite, arrivals are finite and non-negative.
+/// finite, arrivals are finite and non-negative, and every dependency
+/// names a smaller task id (so the implied graph is acyclic by
+/// construction).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ArrivalTrace {
     tasks: Vec<Task>,
+    /// Predecessor ids per task, indexed by task id (`deps[id]`), in the
+    /// order they were recorded. Empty lists for dependency-free tasks.
+    deps: Vec<Vec<u32>>,
 }
 
 impl ArrivalTrace {
@@ -141,9 +181,47 @@ impl ArrivalTrace {
     /// output of [`WorkloadSpec::generate`]), validating the trace
     /// invariants.
     pub fn from_tasks(tasks: &[Task]) -> Result<Self, TraceError> {
-        let mut trace = Self { tasks: Vec::new() };
+        let mut trace = Self {
+            tasks: Vec::new(),
+            deps: vec![Vec::new(); tasks.len()],
+        };
         for (i, t) in tasks.iter().enumerate() {
-            trace.append_validated(i + 1, t.id.0, t.mflops, t.arrival.seconds(), tasks.len())?;
+            trace.append_validated(
+                i + 1,
+                t.id.0,
+                t.mflops,
+                t.arrival.seconds(),
+                tasks.len(),
+                Vec::new(),
+            )?;
+        }
+        Ok(trace)
+    }
+
+    /// Records a precedence-constrained workload: [`Self::from_tasks`]
+    /// plus the dependency lists of `graph`, producing a v2 trace (unless
+    /// the graph is edge-free, which normalises to v1).
+    ///
+    /// Fails with [`TraceError::InvalidDependency`] when the graph does
+    /// not span exactly the workload or contains an edge whose
+    /// predecessor id is not smaller than its successor's — the format's
+    /// acyclicity-by-id-order invariant.
+    pub fn from_tasks_with_graph(tasks: &[Task], graph: &TaskGraph) -> Result<Self, TraceError> {
+        if graph.len() != tasks.len() {
+            return Err(TraceError::InvalidDependency {
+                line: 0,
+                message: format!(
+                    "task graph spans {} task(s) but the workload has {}",
+                    graph.len(),
+                    tasks.len()
+                ),
+            });
+        }
+        let mut trace = Self::from_tasks(tasks)?;
+        for (i, t) in tasks.iter().enumerate() {
+            let deps = graph.preds(t.id.0).to_vec();
+            Self::validate_deps(i + 1, t.id.0, &deps)?;
+            trace.deps[t.id.index()] = deps;
         }
         Ok(trace)
     }
@@ -155,6 +233,29 @@ impl ArrivalTrace {
         Self::from_tasks(&spec.generate(seed))
     }
 
+    /// Checks the dependency-list invariants for task `id`: each dep
+    /// strictly smaller than `id` (range + acyclicity in one shot) and no
+    /// duplicates.
+    fn validate_deps(line: usize, id: u32, deps: &[u32]) -> Result<(), TraceError> {
+        for (k, &d) in deps.iter().enumerate() {
+            if d >= id {
+                return Err(TraceError::InvalidDependency {
+                    line,
+                    message: format!(
+                        "task {id} depends on {d}: dependencies must name a smaller task id"
+                    ),
+                });
+            }
+            if deps[..k].contains(&d) {
+                return Err(TraceError::InvalidDependency {
+                    line,
+                    message: format!("task {id} lists dependency {d} twice"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Validates and appends one record. `line` is only for diagnostics.
     fn append_validated(
         &mut self,
@@ -163,6 +264,7 @@ impl ArrivalTrace {
         mflops: f64,
         arrival: f64,
         count: usize,
+        deps: Vec<u32>,
     ) -> Result<(), TraceError> {
         if !(mflops.is_finite() && mflops > 0.0) {
             return Err(TraceError::InvalidRecord {
@@ -191,8 +293,10 @@ impl ArrivalTrace {
                 });
             }
         }
+        Self::validate_deps(line, id, &deps)?;
         self.tasks
             .push(Task::new(TaskId(id), mflops, SimTime::new(arrival)));
+        self.deps[id as usize] = deps;
         Ok(())
     }
 
@@ -204,8 +308,9 @@ impl ArrivalTrace {
             .map(|(i, l)| (i + 1, l.trim()))
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
 
-        match lines.next() {
-            Some((_, l)) if l == HEADER => {}
+        let v2 = match lines.next() {
+            Some((_, l)) if l == HEADER => false,
+            Some((_, l)) if l == HEADER_V2 => true,
             Some((_, l)) => {
                 let mut found = l.to_string();
                 found.truncate(60);
@@ -216,7 +321,7 @@ impl ArrivalTrace {
                     found: "<empty input>".to_string(),
                 })
             }
-        }
+        };
 
         let count = match lines.next() {
             Some((line, l)) => match l.strip_prefix("tasks ") {
@@ -241,33 +346,83 @@ impl ArrivalTrace {
 
         let mut trace = Self {
             tasks: Vec::with_capacity(count),
+            deps: vec![Vec::new(); count],
         };
         for (line, l) in lines {
             let mut fields = l.split_ascii_whitespace();
-            let (id, mflops, arrival) = match (fields.next(), fields.next(), fields.next()) {
-                (Some(a), Some(b), Some(c)) if fields.next().is_none() => {
-                    let id = a.parse::<u32>().map_err(|e| TraceError::Syntax {
-                        line,
-                        message: format!("bad task id `{a}`: {e}"),
-                    })?;
-                    let m = b.parse::<f64>().map_err(|e| TraceError::Syntax {
-                        line,
-                        message: format!("bad size `{b}`: {e}"),
-                    })?;
-                    let t = c.parse::<f64>().map_err(|e| TraceError::Syntax {
-                        line,
-                        message: format!("bad arrival `{c}`: {e}"),
-                    })?;
-                    (id, m, t)
-                }
-                _ => {
-                    return Err(TraceError::Syntax {
-                        line,
-                        message: format!("expected `<id> <mflops> <arrival_s>`, found `{l}`"),
-                    })
+            let (id, mflops, arrival, deps_field) =
+                match (fields.next(), fields.next(), fields.next()) {
+                    (Some(a), Some(b), Some(c)) => {
+                        let deps_field = fields.next();
+                        if fields.next().is_some() {
+                            return Err(TraceError::Syntax {
+                                line,
+                                message: format!(
+                                    "expected `<id> <mflops> <arrival_s> [deps=...]`, found `{l}`"
+                                ),
+                            });
+                        }
+                        let id = a.parse::<u32>().map_err(|e| TraceError::Syntax {
+                            line,
+                            message: format!("bad task id `{a}`: {e}"),
+                        })?;
+                        let m = b.parse::<f64>().map_err(|e| TraceError::Syntax {
+                            line,
+                            message: format!("bad size `{b}`: {e}"),
+                        })?;
+                        let t = c.parse::<f64>().map_err(|e| TraceError::Syntax {
+                            line,
+                            message: format!("bad arrival `{c}`: {e}"),
+                        })?;
+                        (id, m, t, deps_field)
+                    }
+                    _ => {
+                        return Err(TraceError::Syntax {
+                            line,
+                            message: format!("expected `<id> <mflops> <arrival_s>`, found `{l}`"),
+                        })
+                    }
+                };
+            let deps = match deps_field {
+                None => Vec::new(),
+                Some(field) => {
+                    if !v2 {
+                        // Version gating: v1 records have exactly three
+                        // fields. A `deps=` field gets a pointed message;
+                        // anything else is the v1 syntax error.
+                        return Err(if field.starts_with("deps=") {
+                            TraceError::InvalidDependency {
+                                line,
+                                message: format!(
+                                    "`{field}`: dependencies require the `{HEADER_V2}` header"
+                                ),
+                            }
+                        } else {
+                            TraceError::Syntax {
+                                line,
+                                message: format!(
+                                    "expected `<id> <mflops> <arrival_s>`, found `{l}`"
+                                ),
+                            }
+                        });
+                    }
+                    let list = field
+                        .strip_prefix("deps=")
+                        .ok_or_else(|| TraceError::Syntax {
+                            line,
+                            message: format!("expected `deps=<id>,...`, found `{field}`"),
+                        })?;
+                    list.split(',')
+                        .map(|d| {
+                            d.parse::<u32>().map_err(|e| TraceError::Syntax {
+                                line,
+                                message: format!("bad dependency id `{d}`: {e}"),
+                            })
+                        })
+                        .collect::<Result<Vec<u32>, TraceError>>()?
                 }
             };
-            trace.append_validated(line, id, mflops, arrival, count)?;
+            trace.append_validated(line, id, mflops, arrival, count, deps)?;
         }
 
         if trace.tasks.len() != count {
@@ -281,18 +436,27 @@ impl ArrivalTrace {
 
     /// Serialises to the text format. Floats use Rust's shortest
     /// round-trip formatting, so `parse(serialize(t)) == t` bit-for-bit.
+    /// Emits the v1 header when no task carries dependencies — a
+    /// dependency-free trace always normalises to the v1 bytes — and v2
+    /// otherwise.
     pub fn serialize(&self) -> String {
         let mut out = String::new();
-        out.push_str(HEADER);
+        out.push_str(if self.has_deps() { HEADER_V2 } else { HEADER });
         out.push('\n');
         out.push_str(&format!("tasks {}\n", self.tasks.len()));
         for t in &self.tasks {
-            out.push_str(&format!(
-                "{} {} {}\n",
-                t.id.0,
-                t.mflops,
-                t.arrival.seconds()
-            ));
+            out.push_str(&format!("{} {} {}", t.id.0, t.mflops, t.arrival.seconds()));
+            let deps = &self.deps[t.id.index()];
+            if !deps.is_empty() {
+                out.push_str(" deps=");
+                for (k, d) in deps.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&d.to_string());
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -300,6 +464,31 @@ impl ArrivalTrace {
     /// The recorded tasks, in arrival order.
     pub fn tasks(&self) -> &[Task] {
         &self.tasks
+    }
+
+    /// Predecessor ids of task `id`, in recorded order (empty for
+    /// dependency-free tasks).
+    pub fn deps_of(&self, id: u32) -> &[u32] {
+        &self.deps[id as usize]
+    }
+
+    /// True when any task carries dependencies (the trace is v2).
+    pub fn has_deps(&self) -> bool {
+        self.deps.iter().any(|d| !d.is_empty())
+    }
+
+    /// Materialises the recorded dependencies as a [`TaskGraph`] over the
+    /// trace's dense task ids — the graph to hand to
+    /// [`crate::Simulation::new_with_graph`] when replaying.
+    pub fn graph(&self) -> TaskGraph {
+        let edges: Vec<(u32, u32)> = self
+            .deps
+            .iter()
+            .enumerate()
+            .flat_map(|(s, preds)| preds.iter().map(move |&p| (p, s as u32)))
+            .collect();
+        TaskGraph::new(self.tasks.len(), &edges)
+            .expect("trace invariants guarantee an acyclic, in-range edge set")
     }
 
     /// Number of recorded arrivals.
@@ -462,6 +651,116 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "error `{msg}` for {bad:?}");
         }
+    }
+
+    #[test]
+    fn v1_documents_parse_identically_through_the_v2_aware_parser() {
+        // A valid v1 byte stream re-serialises to exactly itself: the v2
+        // extension cannot perturb v1 traces.
+        let spec = stream_spec(60);
+        let text = ArrivalTrace::record(&spec, 11).unwrap().serialize();
+        assert!(text.starts_with("dts-arrival-trace v1\n"));
+        let parsed = ArrivalTrace::parse(&text).unwrap();
+        assert_eq!(parsed.serialize(), text);
+        assert!(!parsed.has_deps());
+        assert!(!parsed.graph().has_edges());
+    }
+
+    #[test]
+    fn v2_round_trip_is_bit_identical() {
+        let text = "dts-arrival-trace v2\ntasks 4\n0 100 0\n1 250.5 0.5 deps=0\n\
+                    2 87 1.25 deps=0,1\n3 40 2 deps=1\n";
+        let t = ArrivalTrace::parse(text).unwrap();
+        assert_eq!(t.serialize(), text);
+        assert!(t.has_deps());
+        assert_eq!(t.deps_of(0), &[] as &[u32]);
+        assert_eq!(t.deps_of(2), &[0, 1]);
+        let g = t.graph();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.preds(2), &[0, 1]);
+    }
+
+    #[test]
+    fn graph_recording_round_trips_through_the_text_format() {
+        use dts_model::graph::DagFamily;
+        let spec = stream_spec(20);
+        let tasks = spec.generate(5);
+        let graph = DagFamily::RandomLayered {
+            layers: 4,
+            edge_probability: 0.6,
+        }
+        .build(20, 9);
+        let recorded = ArrivalTrace::from_tasks_with_graph(&tasks, &graph).unwrap();
+        let text = recorded.serialize();
+        assert!(text.starts_with("dts-arrival-trace v2\n"));
+        let replayed = ArrivalTrace::parse(&text).unwrap();
+        assert_eq!(replayed, recorded);
+        assert_eq!(replayed.serialize(), text);
+        assert_eq!(replayed.graph().digest(), graph.digest());
+    }
+
+    #[test]
+    fn deps_field_is_version_gated() {
+        let text = "dts-arrival-trace v1\ntasks 2\n0 100 0\n1 100 1 deps=0\n";
+        let err = ArrivalTrace::parse(text).unwrap_err();
+        match &err {
+            TraceError::InvalidDependency { line, .. } => assert_eq!(*line, 4),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn bad_dependencies_are_line_diagnosed() {
+        for (bad, line, needle) in [
+            // Forward reference: dependency on a later id.
+            (
+                "dts-arrival-trace v2\ntasks 2\n0 100 0 deps=1\n1 100 1\n",
+                3,
+                "smaller task id",
+            ),
+            // Self-dependency.
+            (
+                "dts-arrival-trace v2\ntasks 2\n0 100 0\n1 100 1 deps=1\n",
+                4,
+                "smaller task id",
+            ),
+            // Duplicate dependency.
+            (
+                "dts-arrival-trace v2\ntasks 3\n0 100 0\n1 100 1\n2 100 2 deps=0,0\n",
+                5,
+                "twice",
+            ),
+            // Unparseable dependency id.
+            (
+                "dts-arrival-trace v2\ntasks 2\n0 100 0\n1 100 1 deps=x\n",
+                4,
+                "dependency id",
+            ),
+            // Malformed field.
+            (
+                "dts-arrival-trace v2\ntasks 2\n0 100 0\n1 100 1 needs=0\n",
+                4,
+                "deps=",
+            ),
+        ] {
+            let err = ArrivalTrace::parse(bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle) && msg.contains(&format!("line {line}")),
+                "error `{msg}` for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_graph_is_rejected_when_recording() {
+        let tasks = stream_spec(3).generate(1);
+        let graph = dts_model::TaskGraph::independent(5);
+        assert!(matches!(
+            ArrivalTrace::from_tasks_with_graph(&tasks, &graph).unwrap_err(),
+            TraceError::InvalidDependency { .. }
+        ));
     }
 
     #[test]

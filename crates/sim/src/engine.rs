@@ -23,11 +23,11 @@ use dts_distributions::Prng;
 use dts_model::{
     processor::AvailabilityState,
     sched::{ProcessorView, SystemView},
-    Cluster, ProcessorId, Scheduler, SimTime, Smoother, Task,
+    Cluster, ProcessorId, Scheduler, SimTime, Smoother, Task, TaskGraph,
 };
 
 use crate::event::{EventKind, EventQueue};
-use crate::metrics::{ProcBreakdown, SimReport};
+use crate::metrics::{ProcBreakdown, SimReport, WaitingStats};
 use crate::trace::{TaskSpan, Trace};
 
 /// Simulator configuration.
@@ -182,6 +182,11 @@ struct PendingSpan {
 pub struct Simulation {
     cluster: Cluster,
     tasks: Vec<Task>,
+    /// Precedence constraints over the workload's dense task ids. An
+    /// edge-free graph (the paper's independent-task model, and what
+    /// [`Simulation::new`] installs) makes every readiness check a no-op
+    /// branch: the handlers execute exactly the pre-DAG statements.
+    graph: TaskGraph,
     scheduler: Box<dyn Scheduler>,
     config: SimConfig,
 
@@ -189,6 +194,18 @@ pub struct Simulation {
     queue: EventQueue,
     workers: Vec<Worker>,
     rng: Prng,
+
+    /// Unfinished-predecessor counters: task `t` may be admitted to the
+    /// scheduler only when `pending_preds[t] == 0` *and* it has arrived.
+    pending_preds: Vec<u32>,
+    /// Whether each task's arrival event has fired.
+    arrived: Vec<bool>,
+    /// When each task became ready (arrived + all predecessors done).
+    ready_at: Vec<f64>,
+    /// When each task's dispatch message left the scheduler.
+    dispatched_at: Vec<f64>,
+    /// When each task's result arrived back (deadline accounting).
+    done_at: Vec<f64>,
 
     trace: Option<Trace>,
     pending_spans: Vec<Option<PendingSpan>>,
@@ -216,10 +233,38 @@ impl Simulation {
         scheduler: Box<dyn Scheduler>,
         config: SimConfig,
     ) -> Self {
+        let graph = TaskGraph::independent(tasks.len());
+        Self::new_with_graph(cluster, tasks, graph, scheduler, config)
+    }
+
+    /// [`Simulation::new`] with precedence constraints: a task is admitted
+    /// to the scheduler only once it has arrived **and** every predecessor
+    /// in `graph` has completed (its result message received), so no
+    /// scheduler — GA or baseline — can ever dispatch a task before its
+    /// inputs exist. Tasks with deadlines in the graph feed the report's
+    /// deadline-miss accounting. An edge-free graph is exactly
+    /// [`Simulation::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in addition to [`Simulation::new`]'s conditions) when the
+    /// graph does not span exactly the workload's tasks.
+    pub fn new_with_graph(
+        cluster: Cluster,
+        tasks: Vec<Task>,
+        graph: TaskGraph,
+        scheduler: Box<dyn Scheduler>,
+        config: SimConfig,
+    ) -> Self {
         assert!(!cluster.is_empty(), "cluster has no processors");
         assert!(
             tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival),
             "tasks must be sorted by arrival time"
+        );
+        assert_eq!(
+            graph.len(),
+            tasks.len(),
+            "task graph must span exactly the workload"
         );
         let mut seed_stream = dts_distributions::SeedSequence::new(cluster.availability_seed);
         let workers = cluster
@@ -243,15 +288,23 @@ impl Simulation {
         } else {
             None
         };
+        let n_tasks = tasks.len();
+        let pending_preds = graph.in_degrees();
         Self {
             cluster,
             tasks,
+            graph,
             scheduler,
             config,
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
             workers,
             rng,
+            pending_preds,
+            arrived: vec![false; n_tasks],
+            ready_at: vec![0.0; n_tasks],
+            dispatched_at: vec![0.0; n_tasks],
+            done_at: vec![0.0; n_tasks],
             trace,
             pending_spans: vec![None; n_workers],
             host_busy: false,
@@ -302,6 +355,7 @@ impl Simulation {
 
             if self.completed == total {
                 let rated: Vec<f64> = self.workers.iter().map(|w| w.rated).collect();
+                let waiting = self.waiting_stats();
                 return Ok(SimReport::assemble(
                     self.scheduler.name(),
                     self.last_result_at,
@@ -312,11 +366,13 @@ impl Simulation {
                     self.total_generations,
                     self.events_processed,
                 )
-                .with_trace(self.trace.take()));
+                .with_trace(self.trace.take())
+                .with_waiting(waiting));
             }
         }
         if total == 0 {
             let rated: Vec<f64> = self.workers.iter().map(|w| w.rated).collect();
+            let waiting = self.waiting_stats();
             return Ok(SimReport::assemble(
                 self.scheduler.name(),
                 SimTime::ZERO,
@@ -326,7 +382,8 @@ impl Simulation {
                 self.plan_invocations,
                 self.total_generations,
                 self.events_processed,
-            ));
+            )
+            .with_waiting(waiting));
         }
         Err(SimError::Stalled {
             completed: self.completed,
@@ -404,9 +461,29 @@ impl Simulation {
     fn on_arrival(&mut self, first: u32, count: u32) {
         let lo = first as usize;
         let hi = lo + count as usize;
+        let now = self.clock.seconds();
         // Clone the arriving slice to appease the borrow checker; these are
         // 24-byte PODs and arrivals are rare events.
-        let arriving: Vec<Task> = self.tasks[lo..hi].to_vec();
+        let arriving: Vec<Task> = if self.graph.has_edges() {
+            // Admit only tasks whose predecessors have all completed; the
+            // rest wait in `arrived` until `on_result` releases them.
+            let mut admissible = Vec::new();
+            for (k, task) in self.tasks[lo..hi].iter().enumerate() {
+                let t = lo + k;
+                self.arrived[t] = true;
+                if self.pending_preds[t] == 0 {
+                    self.ready_at[t] = now;
+                    admissible.push(*task);
+                }
+            }
+            admissible
+        } else {
+            for t in lo..hi {
+                self.arrived[t] = true;
+                self.ready_at[t] = now;
+            }
+            self.tasks[lo..hi].to_vec()
+        };
         self.scheduler.enqueue(&arriving);
         self.try_plan();
     }
@@ -497,9 +574,10 @@ impl Simulation {
         );
     }
 
-    fn on_result(&mut self, proc: ProcessorId, _task: dts_model::TaskId) {
+    fn on_result(&mut self, proc: ProcessorId, task: dts_model::TaskId) {
         self.completed += 1;
         self.last_result_at = self.clock;
+        self.done_at[task.index()] = self.clock.seconds();
         if let Some(trace) = self.trace.as_mut() {
             if let Some(p) = self.pending_spans[proc.index()].take() {
                 trace.push(TaskSpan {
@@ -511,6 +589,27 @@ impl Simulation {
                     exec_end: p.exec_end,
                     result_at: self.clock,
                 });
+            }
+        }
+        if self.graph.has_edges() {
+            // This result may satisfy the last unfinished predecessor of
+            // some successors: admit every such task that has already
+            // arrived. Released *before* serving, so the worker that just
+            // freed up can pick the released work straight off the queue.
+            let succs: Vec<u32> = self.graph.succs(task.0).to_vec();
+            let mut released = Vec::new();
+            let now = self.clock.seconds();
+            for s in succs {
+                let s = s as usize;
+                debug_assert!(self.pending_preds[s] > 0, "predecessor counted twice");
+                self.pending_preds[s] -= 1;
+                if self.pending_preds[s] == 0 && self.arrived[s] {
+                    self.ready_at[s] = now;
+                    released.push(self.tasks[s]);
+                }
+            }
+            if !released.is_empty() {
+                self.scheduler.enqueue(&released);
             }
         }
         self.workers[proc.index()].phase = Phase::Waiting;
@@ -562,6 +661,7 @@ impl Simulation {
             return; // the worker has not announced itself yet
         }
         if let Some(task) = self.scheduler.next_task_for(proc) {
+            self.dispatched_at[task.id.index()] = self.clock.seconds();
             let cost = self.cluster.links[proc.index()].sample_cost(&mut self.rng);
             let w = &mut self.workers[proc.index()];
             w.breakdown.communicating += cost;
@@ -630,6 +730,46 @@ impl Simulation {
             self.clock + outcome.compute_seconds,
             EventKind::PlanComplete,
         );
+    }
+
+    /// Aggregates the per-task waiting decomposition
+    /// (`dispatch − arrival = stall + queueing`) and deadline accounting
+    /// over the finished run.
+    fn waiting_stats(&self) -> WaitingStats {
+        let n = self.tasks.len();
+        if n == 0 {
+            return WaitingStats::default();
+        }
+        let mut wait_sum = 0.0;
+        let mut queue_sum = 0.0;
+        let mut stall_sum = 0.0;
+        let mut max_wait = 0.0f64;
+        let mut deadlined_tasks = 0u64;
+        let mut deadline_misses = 0u64;
+        for (t, task) in self.tasks.iter().enumerate() {
+            let arrival = task.arrival.seconds();
+            let wait = (self.dispatched_at[t] - arrival).max(0.0);
+            let stall = (self.ready_at[t] - arrival).max(0.0);
+            wait_sum += wait;
+            stall_sum += stall;
+            queue_sum += (wait - stall).max(0.0);
+            max_wait = max_wait.max(wait);
+            if let Some(deadline) = self.graph.deadline(t as u32) {
+                deadlined_tasks += 1;
+                if self.done_at[t] > deadline {
+                    deadline_misses += 1;
+                }
+            }
+        }
+        let inv = 1.0 / n as f64;
+        WaitingStats {
+            mean_wait: wait_sum * inv,
+            mean_queue_wait: queue_sum * inv,
+            mean_precedence_stall: stall_sum * inv,
+            max_wait,
+            deadlined_tasks,
+            deadline_misses,
+        }
     }
 
     /// Estimated seconds until the first worker runs out of work, judging
@@ -905,6 +1045,238 @@ mod tests {
             expected: 10,
         };
         assert!(e.to_string().contains("3/10"));
+    }
+}
+
+#[cfg(test)]
+mod dag_tests {
+    use super::*;
+    use dts_model::graph::DagFamily;
+    use dts_model::{Cluster, SizeDistribution, TaskId, WorkloadSpec};
+    use dts_schedulers::{EarliestFinish, RoundRobin};
+
+    fn const_tasks(n: usize, mflops: f64) -> Vec<Task> {
+        WorkloadSpec::batch(n, SizeDistribution::Constant { value: mflops }).generate(1)
+    }
+
+    fn traced_config() -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.record_trace = true;
+        cfg
+    }
+
+    /// The tentpole safety property: across every DAG family, no task's
+    /// dispatch message leaves the scheduler before the results of all its
+    /// predecessors have arrived back.
+    #[test]
+    fn no_task_starts_before_its_predecessors_complete() {
+        for family in [
+            DagFamily::ForkJoin { width: 5 },
+            DagFamily::Chains { chains: 3 },
+            DagFamily::RandomLayered {
+                layers: 4,
+                edge_probability: 0.5,
+            },
+        ] {
+            let n = 18;
+            let graph = family.build(n, 0xDA6);
+            let cluster = Cluster::homogeneous(3, 100.0);
+            let tasks = const_tasks(n, 150.0);
+            let r = Simulation::new_with_graph(
+                cluster,
+                tasks,
+                graph.clone(),
+                Box::new(EarliestFinish::new(3)),
+                traced_config(),
+            )
+            .run()
+            .unwrap();
+            assert_eq!(r.tasks_completed, n as u64, "{}", family.label());
+            let trace = r.trace.expect("trace requested");
+            let mut sent = vec![SimTime::ZERO; n];
+            let mut done = vec![SimTime::ZERO; n];
+            for span in trace.spans() {
+                sent[span.task.index()] = span.sent_at;
+                done[span.task.index()] = span.result_at;
+            }
+            for (p, s) in graph.edge_list() {
+                assert!(
+                    sent[s as usize] >= done[p as usize],
+                    "{}: task {s} dispatched at {:?} before predecessor {p} \
+                     completed at {:?}",
+                    family.label(),
+                    sent[s as usize],
+                    done[p as usize],
+                );
+            }
+        }
+    }
+
+    /// An edge-free graph must take exactly the pre-DAG code path:
+    /// bit-identical report against [`Simulation::new`].
+    #[test]
+    fn edge_free_graph_is_bit_identical_to_plain_simulation() {
+        let build = |with_graph: bool| {
+            let spec = dts_model::ClusterSpec::paper_defaults(6, 2.0);
+            let cluster = spec.build(3);
+            let tasks = WorkloadSpec::batch(
+                50,
+                SizeDistribution::Uniform {
+                    lo: 10.0,
+                    hi: 1000.0,
+                },
+            )
+            .generate(4);
+            let sched = Box::new(EarliestFinish::new(6));
+            if with_graph {
+                let graph = TaskGraph::independent(tasks.len());
+                Simulation::new_with_graph(cluster, tasks, graph, sched, traced_config())
+            } else {
+                Simulation::new(cluster, tasks, sched, traced_config())
+            }
+            .run()
+            .unwrap()
+        };
+        let plain = build(false);
+        let dagged = build(true);
+        assert_eq!(plain.makespan.to_bits(), dagged.makespan.to_bits());
+        assert_eq!(plain.efficiency.to_bits(), dagged.efficiency.to_bits());
+        assert_eq!(plain.events_processed, dagged.events_processed);
+        assert_eq!(plain.waiting, dagged.waiting);
+        let (pt, dt) = (plain.trace.unwrap(), dagged.trace.unwrap());
+        assert_eq!(pt.spans().len(), dt.spans().len());
+        for (a, b) in pt.spans().iter().zip(dt.spans()) {
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.proc, b.proc);
+            assert_eq!(a.sent_at, b.sent_at);
+            assert_eq!(a.result_at, b.result_at);
+        }
+    }
+
+    /// A pure chain on a single free-comm processor waits only on
+    /// precedence: queueing delay stays ~0 while the stall grows, and the
+    /// two components sum to the total wait.
+    #[test]
+    fn waiting_decomposes_into_stall_plus_queueing() {
+        let n = 4;
+        let graph = DagFamily::Chains { chains: 1 }.build(n, 7);
+        let cluster = Cluster::homogeneous(1, 100.0);
+        let tasks = const_tasks(n, 100.0); // 1 s each, all arrive at t = 0
+        let r = Simulation::new_with_graph(
+            cluster,
+            tasks,
+            graph,
+            Box::new(RoundRobin::new(1)),
+            SimConfig::default(),
+        )
+        .run()
+        .unwrap();
+        let w = r.waiting;
+        // Task k stalls ~k seconds behind its predecessor chain: mean ≈ 1.5.
+        assert!(
+            w.mean_precedence_stall > 1.0,
+            "stall {}",
+            w.mean_precedence_stall
+        );
+        assert!(
+            w.mean_queue_wait < 0.1,
+            "chain on an idle processor should barely queue: {}",
+            w.mean_queue_wait
+        );
+        assert!(
+            (w.mean_wait - (w.mean_precedence_stall + w.mean_queue_wait)).abs() < 1e-9,
+            "decomposition must be exact: {} vs {} + {}",
+            w.mean_wait,
+            w.mean_precedence_stall,
+            w.mean_queue_wait
+        );
+        assert!(w.max_wait >= w.mean_wait);
+        assert_eq!(w.deadline_miss_rate(), None);
+    }
+
+    /// Edge-free workloads on a saturated processor show pure queueing
+    /// delay — zero precedence stall.
+    #[test]
+    fn independent_tasks_wait_only_in_the_queue() {
+        let cluster = Cluster::homogeneous(1, 100.0);
+        let tasks = const_tasks(4, 100.0);
+        let r = Simulation::new(
+            cluster,
+            tasks,
+            Box::new(RoundRobin::new(1)),
+            SimConfig::default(),
+        )
+        .run()
+        .unwrap();
+        let w = r.waiting;
+        assert_eq!(w.mean_precedence_stall, 0.0);
+        assert!(w.mean_queue_wait > 1.0, "queue wait {}", w.mean_queue_wait);
+        assert!((w.mean_wait - w.mean_queue_wait).abs() < 1e-12);
+    }
+
+    /// Deadlines attached to the graph feed the miss-rate accounting: a
+    /// generous deadline is met, an impossible one is missed.
+    #[test]
+    fn deadline_misses_are_counted_per_task() {
+        let n = 3;
+        let mut graph = DagFamily::Chains { chains: 1 }.build(n, 7);
+        graph.set_deadline(0, 100.0); // met: first task finishes ~1 s
+        graph.set_deadline(2, 0.5); // missed: last task cannot finish by 0.5 s
+        let cluster = Cluster::homogeneous(1, 100.0);
+        let tasks = const_tasks(n, 100.0);
+        let r = Simulation::new_with_graph(
+            cluster,
+            tasks,
+            graph,
+            Box::new(RoundRobin::new(1)),
+            SimConfig::default(),
+        )
+        .run()
+        .unwrap();
+        let w = r.waiting;
+        assert_eq!(w.deadlined_tasks, 2);
+        assert_eq!(w.deadline_misses, 1);
+        assert_eq!(w.deadline_miss_rate(), Some(0.5));
+    }
+
+    /// Successors released by a result are picked up by the worker that
+    /// produced the result, in the same event cascade.
+    #[test]
+    fn released_successor_is_served_without_stalling() {
+        let graph = TaskGraph::new(2, &[(0, 1)]).unwrap();
+        let cluster = Cluster::homogeneous(1, 100.0);
+        let tasks = const_tasks(2, 100.0);
+        let r = Simulation::new_with_graph(
+            cluster,
+            tasks,
+            graph,
+            Box::new(RoundRobin::new(1)),
+            traced_config(),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(r.tasks_completed, 2);
+        // Two sequential seconds of compute, free communication.
+        assert!((r.makespan - 2.0).abs() < 1e-4, "makespan {}", r.makespan);
+        let trace = r.trace.unwrap();
+        let s1 = trace.spans().iter().find(|s| s.task == TaskId(1)).unwrap();
+        // Task 1's dispatch coincides with task 0's result (no idle gap).
+        assert!((s1.sent_at.seconds() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "task graph must span exactly the workload")]
+    fn mismatched_graph_is_rejected() {
+        let graph = TaskGraph::independent(3);
+        let cluster = Cluster::homogeneous(1, 100.0);
+        let tasks = const_tasks(2, 100.0);
+        let _ = Simulation::new_with_graph(
+            cluster,
+            tasks,
+            graph,
+            Box::new(RoundRobin::new(1)),
+            SimConfig::default(),
+        );
     }
 }
 

@@ -45,6 +45,6 @@ pub mod trace;
 
 pub use arrivals::{ArrivalTrace, TraceError};
 pub use engine::{SimConfig, SimError, Simulation};
-pub use metrics::{ProcBreakdown, SimReport};
+pub use metrics::{ProcBreakdown, SimReport, WaitingStats};
 pub use runner::{run_replicated, run_simulation, SchedulerFactory};
 pub use trace::{TaskSpan, Trace};

@@ -98,6 +98,7 @@ fn assert_identical(name: &str, a: &SimReport, b: &SimReport) {
     for (i, (pa, pb)) in a.per_proc.iter().zip(&b.per_proc).enumerate() {
         assert_eq!(pa, pb, "{name}: per-proc breakdown {i}");
     }
+    assert_eq!(a.waiting, b.waiting, "{name}: waiting decomposition");
 
     let (ta, tb) = (
         a.trace.as_ref().expect("trace recorded"),
@@ -425,6 +426,146 @@ fn warm_start_actually_changes_the_run() {
             "{name}: carry-over had no observable effect"
         );
     }
+}
+
+/// DAG determinism: precedence-constrained workloads must satisfy the
+/// same contract as independent ones. Readiness gating in the simulator
+/// draws no randomness and the GA's topological repair is RNG-free, so
+/// workers {1, 4} × islands {1, 4} must collapse to one bitwise schedule
+/// per island count, for both GA schedulers.
+fn run_once_dag(name: &str, evaluator: Evaluator, islands: usize) -> SimReport {
+    let island_cfg = IslandConfig {
+        islands,
+        migration_interval: 3,
+        migrants: 1,
+        topology: Topology::Ring,
+    };
+    let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+    let workload = WorkloadSpec::batch(
+        TASKS,
+        SizeDistribution::Normal {
+            mean: 500.0,
+            variance: 1.0e4,
+        },
+    );
+    let (tasks, graph) = workload.generate_dag(
+        &dts::model::graph::DagFamily::RandomLayered {
+            layers: 5,
+            edge_probability: 0.3,
+        },
+        SEED,
+    );
+    let mut config = SimConfig::default();
+    config.record_trace = true;
+    config.seed = SEED ^ 0xFACE;
+    let sched: Box<dyn Scheduler> = match name {
+        "ZO" => {
+            let mut cfg = ZoConfig::default();
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.islands = island_cfg;
+            Box::new(Zomaya::new(PROCS, cfg))
+        }
+        "PN" => {
+            let mut cfg = PnConfig::default();
+            cfg.initial_batch = 8;
+            cfg.max_batch = 8;
+            cfg.ga.max_generations = 25;
+            cfg.ga.evaluator = evaluator;
+            cfg.islands = island_cfg;
+            Box::new(PnScheduler::new(PROCS, cfg))
+        }
+        other => panic!("unknown scheduler {other}"),
+    };
+    Simulation::new_with_graph(cluster, tasks, graph, sched, config)
+        .run()
+        .unwrap_or_else(|e| panic!("{name} DAG run failed: {e:?}"))
+}
+
+#[test]
+fn dag_runs_are_bit_identical_across_worker_and_island_counts() {
+    for name in ["PN", "ZO"] {
+        for islands in [1usize, 4] {
+            let reference = run_once_dag(name, Evaluator::Serial, islands);
+            assert!(
+                reference.waiting.mean_precedence_stall > 0.0,
+                "{name}: the DAG workload must actually exercise readiness gating"
+            );
+            for evaluator in [Evaluator::Serial, Evaluator::ThreadPool { workers: 4 }] {
+                let run = run_once_dag(name, evaluator, islands);
+                assert_identical(
+                    &format!("{name}/dag/islands={islands}/{evaluator:?}"),
+                    &reference,
+                    &run,
+                );
+            }
+        }
+    }
+}
+
+/// The tentpole identity guard (grep-anchored in CI): an empty-dependency
+/// workload must take exactly the pre-DAG code path. Both the simulator
+/// (edge-free graph vs no graph) and the planner (unconstrained
+/// precedence table vs none) must produce bit-identical results — GA
+/// internals included, down to the fitness-memo hit/miss counters.
+#[test]
+fn empty_dag_is_bit_identical_to_independent_path() {
+    // Simulator level: Simulation::new vs an explicit edge-free graph.
+    let sim_run = |with_graph: bool| {
+        let cluster = ClusterSpec::paper_defaults(PROCS, 2.0).build(SEED);
+        let tasks = WorkloadSpec::batch(
+            TASKS,
+            SizeDistribution::Normal {
+                mean: 500.0,
+                variance: 1.0e4,
+            },
+        )
+        .generate(SEED);
+        let mut config = SimConfig::default();
+        config.record_trace = true;
+        config.seed = SEED ^ 0xFACE;
+        let sched = scheduler("PN", Evaluator::ThreadPool { workers: 4 });
+        if with_graph {
+            let graph = dts::model::TaskGraph::independent(tasks.len());
+            Simulation::new_with_graph(cluster, tasks, graph, sched, config)
+        } else {
+            Simulation::new(cluster, tasks, sched, config)
+        }
+        .run()
+        .expect("run completes")
+    };
+    assert_identical("PN/empty-dag", &sim_run(false), &sim_run(true));
+
+    // Planner level: a precedence table with no constraints must be
+    // structurally dropped — same queues, makespan bits, generation
+    // count, and memo counters as a plain plan call.
+    use dts::core::{plan_batch, slot_precedence, PlanRequest, ProcessorState};
+    use dts::model::{SimTime, Task, TaskGraph, TaskId};
+    let batch: Vec<Task> = (0..12)
+        .map(|i| Task::new(TaskId(i), 100.0 + 53.0 * i as f64, SimTime::ZERO))
+        .collect();
+    let procs: Vec<ProcessorState> = [100.0, 150.0, 80.0]
+        .iter()
+        .map(|&rate| ProcessorState {
+            rate,
+            existing_load_mflops: 0.0,
+            comm_cost: 0.1,
+        })
+        .collect();
+    let mut cfg = PnConfig::default();
+    cfg.ga.max_generations = 30;
+    let plain = plan_batch(&PlanRequest::new(&batch, &procs, SEED), &cfg);
+    let prec = slot_precedence(&batch, &TaskGraph::independent(batch.len()));
+    let gated = plan_batch(
+        &PlanRequest::new(&batch, &procs, SEED).with_precedence(&prec),
+        &cfg,
+    );
+    assert_eq!(plain.queues, gated.queues);
+    assert_eq!(plain.best_makespan.to_bits(), gated.best_makespan.to_bits());
+    assert_eq!(plain.generations, gated.generations);
+    assert_eq!(plain.ga.memo_hits, gated.ga.memo_hits);
+    assert_eq!(plain.ga.memo_misses, gated.ga.memo_misses);
+    assert_eq!(plain.ga.final_population, gated.ga.final_population);
 }
 
 /// Different seeds must actually change the outcome — guards against the
