@@ -35,8 +35,10 @@ fn bench_plan(c: &mut Criterion) {
     group.sample_size(10);
     for kind in ALL_SCHEDULERS {
         // Cap the GA budget so one criterion sample stays sub-second.
-        let mut opts = BuildOptions::default();
-        opts.max_generations = 100;
+        let opts = BuildOptions {
+            max_generations: 100,
+            ..BuildOptions::default()
+        };
         group.bench_function(kind.label(), |bench| {
             bench.iter(|| {
                 let mut sched = kind.build_with(50, 11, &opts);

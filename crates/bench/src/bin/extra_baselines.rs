@@ -8,6 +8,10 @@ use dts_model::{Scheduler, SizeDistribution};
 use dts_schedulers::{KPercentBest, Olb, Sufferage};
 use dts_sim::run_replicated;
 
+/// A named scheduler factory taking the processor count; `Sync` so the
+/// replication machinery can share it across worker threads.
+type ExtraFactory = Box<dyn Fn(usize) -> Box<dyn Scheduler> + Sync>;
+
 fn main() {
     let comm: f64 = env_or("DTS_COMM", 20.0);
     let reps: usize = env_or("DTS_REPS", 8);
@@ -41,7 +45,7 @@ fn main() {
     }
 
     // The three extensions, through the same replication machinery.
-    let extras: Vec<(&str, Box<dyn Fn(usize) -> Box<dyn Scheduler> + Sync>)> = vec![
+    let extras: Vec<(&str, ExtraFactory)> = vec![
         ("OLB", Box::new(|n| Box::new(Olb::new(n)))),
         ("KPB", Box::new(|n| Box::new(KPercentBest::new(n, 0.2)))),
         (

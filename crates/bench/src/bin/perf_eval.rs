@@ -515,7 +515,7 @@ fn incremental_bench(reps: usize, seed: u64, m: usize) {
     for _ in 0..reps {
         let mut c = start.clone();
         let mut fitness = problem.fitness(&c);
-        let mut r = Prng::seed_from(0xBA1A_4CE);
+        let mut r = Prng::seed_from(0x0BA1_A4CE);
         let t0 = Instant::now();
         for _ in 0..attempts {
             if let Some(f) = legacy_rebalance_once(&problem, &mut c, fitness, probes, &mut r) {
@@ -529,7 +529,7 @@ fn incremental_bench(reps: usize, seed: u64, m: usize) {
         let mut fitness = problem.fitness(&c);
         let mut completions = Vec::new();
         problem.completion_times(&c, &mut completions);
-        let mut r = Prng::seed_from(0xBA1A_4CE);
+        let mut r = Prng::seed_from(0x0BA1_A4CE);
         let t0 = Instant::now();
         for _ in 0..attempts {
             if let Some(f) =

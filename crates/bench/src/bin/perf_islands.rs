@@ -138,13 +138,13 @@ fn main() {
         let mut makespans = Vec::with_capacity(reps);
         let mut ratios = Vec::with_capacity(reps);
         let mut walls = Vec::with_capacity(reps);
-        for rep in 0..reps {
+        for (rep, mono) in mono_makespans.iter().enumerate().take(reps) {
             let (b, p) = problem(tasks, procs, seed ^ (rep as u64).wrapping_mul(0x9E37));
             let t0 = Instant::now();
             let out = schedule_batch(&b, &p, &cfg, seed + rep as u64);
             walls.push(t0.elapsed().as_secs_f64() * 1e3);
             makespans.push(out.best_makespan);
-            ratios.push(out.best_makespan / mono_makespans[rep]);
+            ratios.push(out.best_makespan / mono);
         }
         let cell = Cell {
             islands,

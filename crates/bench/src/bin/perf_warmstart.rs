@@ -110,9 +110,11 @@ fn main() {
     for kind in [SchedulerKind::Pn, SchedulerKind::Zo] {
         for (arrival_label, arrival) in &arrivals {
             for warm in [false, true] {
-                let mut build = BuildOptions::default();
-                build.batch_size = batch;
-                build.max_generations = gens;
+                let mut build = BuildOptions {
+                    batch_size: batch,
+                    max_generations: gens,
+                    ..BuildOptions::default()
+                };
                 // The plateau stop is what converts faster convergence
                 // into fewer generations; both arms get it identically.
                 build.plateau_generations = Some(plateau);

@@ -67,7 +67,7 @@ pub fn convergence_series(
             let out = schedule_batch_capped(&tasks, &procs, &cfg, None, sub.next_seed());
             let initial = out.ga.history[0].best_makespan.max(1e-12);
             let mut best_so_far = f64::INFINITY;
-            for g in 0..=generations as usize {
+            for (g, sum) in sums.iter_mut().enumerate().take(generations as usize + 1) {
                 let at = out
                     .ga
                     .history
@@ -75,7 +75,7 @@ pub fn convergence_series(
                     .map(|s| s.best_makespan)
                     .unwrap_or(best_so_far);
                 best_so_far = best_so_far.min(at);
-                sums[g] += best_so_far / initial;
+                *sum += best_so_far / initial;
             }
         }
         series.push(sums.into_iter().map(|s| s / reps as f64).collect());

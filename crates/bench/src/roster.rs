@@ -89,8 +89,10 @@ impl SchedulerKind {
             SchedulerKind::Mm => Box::new(MinMin::with_batch_size(n_procs, opts.batch_size)),
             SchedulerKind::Mx => Box::new(MaxMin::with_batch_size(n_procs, opts.batch_size)),
             SchedulerKind::Zo => {
-                let mut cfg = ZoConfig::default();
-                cfg.batch_size = opts.batch_size;
+                let mut cfg = ZoConfig {
+                    batch_size: opts.batch_size,
+                    ..ZoConfig::default()
+                };
                 cfg.ga.max_generations = opts.max_generations;
                 cfg.ga.plateau_generations = opts.plateau_generations;
                 cfg.ga.evaluator = opts.evaluator;
@@ -175,10 +177,12 @@ mod tests {
 
     #[test]
     fn build_options_propagate() {
-        let mut opts = BuildOptions::default();
-        opts.batch_size = 32;
-        opts.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
-        opts.plateau_generations = Some(20);
+        let opts = BuildOptions {
+            batch_size: 32,
+            seed_strategy: SeedStrategy::CarryOver { elites: 5 },
+            plateau_generations: Some(20),
+            ..BuildOptions::default()
+        };
         for kind in [SchedulerKind::Mm, SchedulerKind::Zo, SchedulerKind::Pn] {
             let s = kind.build_with(4, 1, &opts);
             assert_eq!(s.name(), kind.label());

@@ -61,11 +61,13 @@ impl Scenario {
                 .unwrap_or(1),
         );
         let seed: u64 = env_or("DTS_SEED", 20_050_404);
-        let mut build = BuildOptions::default();
         // GA fitness-evaluation workers per run (1 = serial). Replication
         // threads are the better lever for many small runs; this knob wins
         // when individual runs are large (see BENCH_parallel_eval.json).
-        build.evaluator = dts_ga::Evaluator::threads(env_or("DTS_EVAL_WORKERS", 1));
+        let mut build = BuildOptions {
+            evaluator: dts_ga::Evaluator::threads(env_or("DTS_EVAL_WORKERS", 1)),
+            ..BuildOptions::default()
+        };
         // Warm-start carry-over for the GA schedulers: DTS_WARM_ELITES=k
         // carries the k best schedules of each batch into the next batch's
         // initial population (0 or unset = fresh §3.3 seeding).

@@ -433,7 +433,7 @@ mod tests {
         let seeded = Chromosome::from_queues(&[vec![0, 1], vec![2, 3]]);
         let mut cfg = quick_config(1);
         cfg.init_random_fraction = (1.0, 1.0); // fresh fill is all-random
-        let out = schedule_batch_warm(&b, &p, &cfg, &[seeded.clone()], None, 11);
+        let out = schedule_batch_warm(&b, &p, &cfg, std::slice::from_ref(&seeded), None, 11);
         // The balanced seed achieves the 2.0 s optimum.
         assert!(
             (out.best_makespan - 2.0).abs() < 1e-9,

@@ -19,9 +19,10 @@ use crate::time_model::GaTimeModel;
 ///
 /// Either strategy is deterministic: the carried population is itself a
 /// pure function of the seeds, and the remap draws no randomness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SeedStrategy {
     /// Reseed from scratch every invocation (the paper's behaviour).
+    #[default]
     Fresh,
     /// Carry the best `elites` schedules of the previous run forward as
     /// warm-start seeds (capped by the population size).
@@ -35,12 +36,6 @@ impl SeedStrategy {
     /// True for [`SeedStrategy::CarryOver`].
     pub fn is_carry_over(self) -> bool {
         matches!(self, SeedStrategy::CarryOver { .. })
-    }
-}
-
-impl Default for SeedStrategy {
-    fn default() -> Self {
-        SeedStrategy::Fresh
     }
 }
 
@@ -223,8 +218,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_fraction() {
-        let mut c = PnConfig::default();
-        c.init_random_fraction = (0.9, 0.1);
+        let mut c = PnConfig {
+            init_random_fraction: (0.9, 0.1),
+            ..PnConfig::default()
+        };
         assert!(c.validate().is_err());
         c.init_random_fraction = (0.0, 1.5);
         assert!(c.validate().is_err());
@@ -232,15 +229,19 @@ mod tests {
 
     #[test]
     fn validation_catches_zero_batch() {
-        let mut c = PnConfig::default();
-        c.initial_batch = 0;
+        let c = PnConfig {
+            initial_batch: 0,
+            ..PnConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validation_catches_bad_nu() {
-        let mut c = PnConfig::default();
-        c.batch_nu = 2.0;
+        let c = PnConfig {
+            batch_nu: 2.0,
+            ..PnConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -627,9 +627,13 @@ impl Problem for BatchProblem<'_> {
 /// unconstrained table, which [`BatchProblem::with_precedence`] treats as
 /// "no constraints at all".
 pub fn slot_precedence(batch: &[Task], graph: &TaskGraph) -> SlotPrecedence {
-    let mut slot_of = std::collections::HashMap::with_capacity(batch.len());
+    // Task ids are dense (graph nodes are 0..n), so the id→slot index is
+    // a plain vector — no hash table, no nondeterministic bucket order.
+    const NO_SLOT: u32 = u32::MAX;
+    let max_id = batch.iter().map(|t| t.id.0 as usize).max();
+    let mut slot_of = vec![NO_SLOT; max_id.map_or(0, |m| m + 1)];
     for (k, t) in batch.iter().enumerate() {
-        slot_of.insert(t.id.0, k as u32);
+        slot_of[t.id.0 as usize] = k as u32;
     }
     let preds = batch
         .iter()
@@ -637,7 +641,7 @@ pub fn slot_precedence(batch: &[Task], graph: &TaskGraph) -> SlotPrecedence {
             graph
                 .preds(t.id.0)
                 .iter()
-                .filter_map(|p| slot_of.get(p).copied())
+                .filter_map(|&p| slot_of.get(p as usize).copied().filter(|&s| s != NO_SLOT))
                 .collect()
         })
         .collect();

@@ -303,8 +303,12 @@ mod tests {
         let pop = initial_population(&b, &p, 20, (0.5, 1.0), &mut rng);
         assert_eq!(pop.len(), 20);
         assert!(pop.iter().all(|c| c.validate().is_ok()));
-        let distinct: std::collections::HashSet<_> = pop.iter().collect();
-        assert!(distinct.len() > 10, "population should be diverse");
+        // Distinctness via the content digest (sort + dedup): no hash-set,
+        // so the diversity count is iteration-order-free.
+        let mut digests: Vec<u128> = pop.iter().map(|c| c.content_hash()).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert!(digests.len() > 10, "population should be diverse");
     }
 
     #[test]

@@ -169,6 +169,7 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: bool, mu
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point (macro-generated).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+

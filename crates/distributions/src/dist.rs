@@ -437,6 +437,7 @@ mod tests {
             let mut rng = Xoshiro256PlusPlus::seed_from(29);
             for _ in 0..2_000 {
                 let x = sample_with(&d, &mut rng);
+                // dts-lint: allow(float-eq, "integrality check: Poisson samples are exact non-negative integers, so fract() is exactly 0.0")
                 assert!(x >= 0.0 && x.fract() == 0.0, "λ={lambda}: {x}");
             }
         }

@@ -6,6 +6,10 @@
 
 /// Lanczos coefficients for g = 7, n = 9 (Godfrey's tableau).
 const LANCZOS_G: f64 = 7.0;
+// The tableau is quoted at full published precision; a couple of entries
+// carry one digit beyond what f64 can represent, which keeps them
+// recognisably Godfrey's numbers.
+#[allow(clippy::excessive_precision)]
 const LANCZOS_COEF: [f64; 9] = [
     0.999_999_999_999_809_93,
     676.520_368_121_885_1,

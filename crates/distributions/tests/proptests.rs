@@ -63,6 +63,7 @@ proptest! {
         let mut rng = Prng::seed_from(seed);
         for _ in 0..16 {
             let x = d.sample_rng(&mut rng);
+            // dts-lint: allow(float-eq, "integrality check: Poisson samples are exact non-negative integers, so fract() is exactly 0.0")
             prop_assert!(x >= 0.0 && x.fract() == 0.0, "λ={lambda}: {x}");
         }
     }

@@ -462,13 +462,14 @@ mod tests {
     #[test]
     fn dense_index_unique() {
         let h = 4;
-        let mut seen = std::collections::HashSet::new();
-        for t in 0..4u32 {
-            assert!(seen.insert(Gene::Task(t).dense_index(h)));
-        }
-        for d in 0..3u16 {
-            assert!(seen.insert(Gene::Delim(d).dense_index(h)));
-        }
+        // Uniqueness via sort + dedup rather than a hash set, keeping the
+        // test free of iteration-order-sensitive collections.
+        let mut seen: Vec<usize> = (0..4u32).map(|t| Gene::Task(t).dense_index(h)).collect();
+        seen.extend((0..3u16).map(|d| Gene::Delim(d).dense_index(h)));
+        let total = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total);
         assert_eq!(seen.len(), 7);
     }
 }

@@ -450,10 +450,12 @@ impl<'a> GaEngine<'a> {
         // The evaluation context (serial, or a scoped worker pool that
         // lives for the whole run) wraps the generation loop.
         self.config.evaluator.with_context(problem, |eval| {
+            // dts-lint: allow(wall-clock, "the documented TimeBudget exception: generation counts under a wall-clock budget are host-dependent by design")
             let deadline = time_budget.map(|b| std::time::Instant::now() + b);
             let mut run = self.start(problem, eval, &initial, max_generations_override);
             while run.stopped().is_none() {
                 if let Some(d) = deadline {
+                    // dts-lint: allow(wall-clock, "TimeBudget deadline check between generations; see run_budgeted docs")
                     if std::time::Instant::now() >= d {
                         run.stop_now(StopReason::TimeBudget);
                         break;

@@ -66,9 +66,10 @@ use crate::engine::Problem;
 /// How a population batch is evaluated. Stored in
 /// [`GaConfig::evaluator`](crate::GaConfig::evaluator); both variants
 /// produce bit-identical results (`tests/determinism.rs` locks this in).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Evaluator {
     /// Evaluate on the calling thread, in index order.
+    #[default]
     Serial,
     /// Evaluate on `workers` scoped threads. `workers == 0` resolves to
     /// [`std::thread::available_parallelism`] at run time; `workers == 1`
@@ -77,12 +78,6 @@ pub enum Evaluator {
         /// Worker thread count (0 = all available cores).
         workers: usize,
     },
-}
-
-impl Default for Evaluator {
-    fn default() -> Self {
-        Evaluator::Serial
-    }
 }
 
 impl Evaluator {

@@ -436,6 +436,7 @@ impl<'a> IslandEngine<'a> {
             };
         }
 
+        // dts-lint: allow(wall-clock, "the documented TimeBudget exception: ensemble deadline between lockstep rounds, same contract as GaEngine::run_budgeted")
         let deadline = time_budget.map(|b| Instant::now() + b);
         let config = self.mono.config();
         let engines: Vec<GaEngine<'a>> = island_sizes(config.population_size, n)
@@ -494,6 +495,7 @@ impl<'a> IslandEngine<'a> {
                 break;
             }
             if let Some(d) = deadline {
+                // dts-lint: allow(wall-clock, "TimeBudget deadline check at a round boundary; stops every island in the same round")
                 if Instant::now() >= d {
                     for r in runs.iter_mut() {
                         r.stop_now(StopReason::TimeBudget);
@@ -512,7 +514,7 @@ impl<'a> IslandEngine<'a> {
                 }
                 break;
             }
-            if round % self.islands.migration_interval == 0 {
+            if round.is_multiple_of(self.islands.migration_interval) {
                 migrate(&mut runs, &self.islands);
             }
         }
@@ -632,12 +634,7 @@ mod tests {
     }
 
     fn skewed() -> Chromosome {
-        Chromosome::from_queues(&vec![
-            (0..12u32).collect::<Vec<_>>(),
-            vec![],
-            vec![],
-            vec![],
-        ])
+        Chromosome::from_queues(&[(0..12u32).collect::<Vec<_>>(), vec![], vec![], vec![]])
     }
 
     fn seeds(n: usize) -> Vec<Vec<Chromosome>> {

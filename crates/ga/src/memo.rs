@@ -33,6 +33,7 @@
 //! Zobrist hashes, putting the probability for a run that sees `n` genomes
 //! at ~`n²/2¹²⁸`; for even a billion genomes that is ~10⁻²¹.
 
+// dts-lint: allow(unordered-iter, "lookup-only: probed by content digest in submission order, never iterated; eviction is an all-or-nothing clear")
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 
@@ -82,6 +83,7 @@ struct MemoEntry {
 /// determinism and invalidation rules.
 #[derive(Debug)]
 pub struct FitnessMemo {
+    // dts-lint: allow(unordered-iter, "lookup-only: get/insert by digest key; no code path iterates the map, so bucket order never leaks")
     map: HashMap<u128, MemoEntry, DigestHashBuilder>,
     capacity: usize,
     epoch: Option<u64>,
@@ -96,6 +98,7 @@ impl FitnessMemo {
     /// lookup misses.
     pub fn new(capacity: usize) -> Self {
         Self {
+            // dts-lint: allow(unordered-iter, "constructing the lookup-only digest table documented on the `map` field")
             map: HashMap::with_capacity_and_hasher(
                 capacity.min(DEFAULT_MEMO_CAPACITY),
                 DigestHashBuilder,

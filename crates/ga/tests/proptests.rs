@@ -227,11 +227,14 @@ proptest! {
 // `(makespan, id)` pairs, with no engine in the loop.
 // ---------------------------------------------------------------------
 
+/// One generated archipelago: per-island `(makespan, id)` populations plus
+/// a migrant count, topology pick, and per-island rotation offsets.
+type Archipelago = (Vec<Vec<(f64, u32)>>, usize, bool, Vec<usize>);
+
 /// Strategy: 2–6 islands of 2–8 individuals each, every individual
 /// carrying a globally unique id and a distinct makespan (an arbitrary
 /// injective scramble of the id), plus a migrant count and topology pick.
-fn archipelago_strategy() -> impl Strategy<Value = (Vec<Vec<(f64, u32)>>, usize, bool, Vec<usize>)>
-{
+fn archipelago_strategy() -> impl Strategy<Value = Archipelago> {
     (
         proptest::collection::vec(2usize..9, 2..7),
         1usize..6,

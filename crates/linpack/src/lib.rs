@@ -75,9 +75,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for r in 0..self.n {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.n..(r + 1) * self.n];
-            y[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yr = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -176,16 +176,16 @@ impl Lu {
         for k in 0..n {
             x.swap(k, self.pivots[k]);
             let xk = x[k];
-            for r in (k + 1)..n {
-                x[r] -= self.lu[r * n + k] * xk;
+            for (r, xr) in x.iter_mut().enumerate().skip(k + 1) {
+                *xr -= self.lu[r * n + k] * xk;
             }
         }
         // Back-substitute through U.
         for k in (0..n).rev() {
             x[k] /= self.lu[k * n + k];
             let xk = x[k];
-            for r in 0..k {
-                x[r] -= self.lu[r * n + k] * xk;
+            for (r, xr) in x.iter_mut().enumerate().take(k) {
+                *xr -= self.lu[r * n + k] * xk;
             }
         }
         x

@@ -1,0 +1,118 @@
+//! The `dts-lint` command-line gate.
+//!
+//! ```text
+//! dts-lint [--root <dir>] [--json <path>] [--deny] [--quiet]
+//! ```
+//!
+//! Scans every workspace `.rs` file and prints findings (and, with
+//! `--verbose-suppressions`, the consulted allowlist). `--deny` exits
+//! nonzero on any finding — the CI contract. `--json` additionally
+//! writes the machine-readable report (CI emits
+//! `results/lint_report.json` from it).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dts_lint::{scan_workspace, ALL_RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut quiet = false;
+    let mut verbose_suppressions = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--verbose-suppressions" => verbose_suppressions = true,
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dts-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("dts-lint: cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dts-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if verbose_suppressions {
+        for s in &report.suppressions {
+            println!(
+                "{}:{}: allowed({}) — {}",
+                s.file, s.line, s.rule, s.justification
+            );
+        }
+    }
+    if !quiet {
+        let per_rule: Vec<String> = ALL_RULES
+            .iter()
+            .map(|r| {
+                let (f, s) = report.counts_for(r.name());
+                format!("{r}: {f} finding(s), {s} suppression(s)")
+            })
+            .collect();
+        println!(
+            "dts-lint: {} file(s) scanned, {} finding(s), {} justified suppression(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressions.len()
+        );
+        for line in per_rule {
+            println!("  {line}");
+        }
+    }
+
+    if deny && !report.is_clean() {
+        eprintln!(
+            "dts-lint: {} unsuppressed finding(s) — the determinism contract is a build gate; \
+             fix the code or add `// dts-lint: allow(<rule>, \"<justification>\")`",
+            report.findings.len()
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("dts-lint: {err}");
+    }
+    eprintln!(
+        "usage: dts-lint [--root <dir>] [--json <path>] [--deny] [--quiet] [--verbose-suppressions]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

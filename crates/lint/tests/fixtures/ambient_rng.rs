@@ -1,0 +1,4 @@
+// Known-bad fixture for the `ambient-rng` rule: exactly one finding.
+pub fn ambient_seed() -> u64 {
+    thread_rng().next_u64()
+}

@@ -1,0 +1,32 @@
+// Clean fixture: deterministic idiom the contract endorses. Scanned
+// under a deterministic-crate context, it must produce zero findings.
+use std::collections::BTreeMap;
+
+pub fn slot_index(ids: &[u32]) -> BTreeMap<u32, u32> {
+    ids.iter().enumerate().map(|(k, &id)| (id, k as u32)).collect()
+}
+
+pub fn best(makespans: &[f64]) -> Option<f64> {
+    makespans.iter().copied().min_by(|a, b| a.total_cmp(b))
+}
+
+pub fn head_of_queue(ids: &[u32]) -> Result<u32, String> {
+    ids.first().copied().ok_or_else(|| "empty queue".to_string())
+}
+
+// Mentions of Instant::now or HashMap inside strings and comments are
+// not code: "Instant::now() in a string is fine".
+pub const DOC: &str = "HashMap and thread_rng in a string literal";
+
+#[cfg(test)]
+mod tests {
+    // Test code may read the clock (timing a budgeted run) and unwrap.
+    pub fn elapsed() -> std::time::Duration {
+        let t0 = std::time::Instant::now();
+        t0.elapsed()
+    }
+
+    pub fn first(ids: &[u32]) -> u32 {
+        ids.first().copied().unwrap()
+    }
+}

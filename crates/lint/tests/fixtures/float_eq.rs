@@ -1,0 +1,4 @@
+// Known-bad fixture for the `float-eq` rule: exactly one finding.
+pub fn converged(error: f64) -> bool {
+    error == 0.0
+}

@@ -1,0 +1,4 @@
+// Known-bad fixture for the `hot-unwrap` rule: exactly one finding.
+pub fn head_of_queue(ids: &[u32]) -> u32 {
+    ids.first().copied().unwrap()
+}

@@ -1,0 +1,9 @@
+// Fixture exercising both suppression forms: zero findings, two
+// suppression records.
+
+// dts-lint: allow(unordered-iter, "lookup-only: keyed by dense task id, never iterated")
+pub type SlotIndex = std::collections::HashMap<u32, u32>;
+
+pub fn exactly_zero(x: f64) -> bool {
+    x == 0.0 // dts-lint: allow(float-eq, "exact sentinel zero, not a tolerance comparison")
+}

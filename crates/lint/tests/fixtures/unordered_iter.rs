@@ -1,0 +1,4 @@
+// Known-bad fixture for the `unordered-iter` rule: exactly one finding.
+pub fn slot_index(ids: &[u32]) -> std::collections::HashMap<u32, u32> {
+    ids.iter().enumerate().map(|(k, &id)| (id, k as u32)).collect()
+}

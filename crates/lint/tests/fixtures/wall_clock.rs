@@ -1,0 +1,6 @@
+// Known-bad fixture for the `wall-clock` rule: exactly one finding.
+// (Fixtures are never compiled; they are scanned by the self-tests.)
+pub fn deadline_from_ambient_clock() -> std::time::Duration {
+    let now = std::time::Instant::now();
+    now.elapsed()
+}

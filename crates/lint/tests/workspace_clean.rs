@@ -1,0 +1,59 @@
+//! The acceptance gate, in test form: the real workspace must scan
+//! clean, and every surviving suppression must carry a written
+//! justification. CI runs the same scan via `dts-lint --deny`; this
+//! test makes `cargo test` fail the moment a nondeterminism source is
+//! reintroduced anywhere in the tree.
+
+use std::path::Path;
+
+use dts_lint::scan_workspace;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let report = scan_workspace(workspace_root()).expect("scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "determinism-contract findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_suppression_is_justified_and_consulted() {
+    let report = scan_workspace(workspace_root()).expect("scan succeeds");
+    // scan_workspace only records *consulted* suppressions (unused ones
+    // are findings), so each record is a live, justified exception.
+    assert!(
+        !report.suppressions.is_empty(),
+        "the allowlist should not be empty: run_budgeted's deadline and the \
+         service layer's latency stamping are documented exceptions"
+    );
+    for s in &report.suppressions {
+        assert!(
+            s.justification.trim().len() >= 10,
+            "{}:{} [{}]: justification too thin: {:?}",
+            s.file,
+            s.line,
+            s.rule,
+            s.justification
+        );
+    }
+}

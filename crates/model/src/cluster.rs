@@ -174,6 +174,7 @@ mod tests {
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
         assert_eq!(c.total_rated_mflops(), 400.0);
+        // dts-lint: allow(float-eq, "exact constructor value: homogeneous clusters build every link with mean_cost exactly 0.0")
         assert!(c.links.iter().all(|l| l.mean_cost == 0.0));
     }
 

@@ -104,7 +104,8 @@ impl SizeDistribution {
                 }
             }
             SizeDistribution::Uniform { lo, hi } => {
-                if !(lo < hi) {
+                // NaN bounds must be rejected too, hence the explicit check.
+                if lo.is_nan() || hi.is_nan() || lo >= hi {
                     return Err(format!("invalid uniform bounds [{lo}, {hi})"));
                 }
                 if hi <= MIN_TASK_MFLOPS {
@@ -115,7 +116,7 @@ impl SizeDistribution {
                 }
             }
             SizeDistribution::Normal { mean, variance } => {
-                if !(variance > 0.0) || !mean.is_finite() {
+                if variance.is_nan() || variance <= 0.0 || !mean.is_finite() {
                     return Err(format!("invalid normal(mu={mean}, var={variance})"));
                 }
                 // Support is all of ℝ, but with (essentially) no mass above
@@ -129,7 +130,7 @@ impl SizeDistribution {
                 }
             }
             SizeDistribution::Poisson { lambda } => {
-                if !(lambda > 0.0) {
+                if lambda.is_nan() || lambda <= 0.0 {
                     return Err(format!("poisson lambda {lambda} must be positive"));
                 }
             }

@@ -65,10 +65,10 @@ proptest! {
             } else {
                 prop_assert!(shadow[p as usize].is_empty());
             }
-            for j in 0..4 {
+            for (j, shadow_q) in shadow.iter().enumerate() {
                 let pid = ProcessorId(j as u16);
-                prop_assert_eq!(q.queued_len(pid), shadow[j].len());
-                let expect: f64 = shadow[j].iter().sum();
+                prop_assert_eq!(q.queued_len(pid), shadow_q.len());
+                let expect: f64 = shadow_q.iter().sum();
                 prop_assert!((q.queued_mflops(pid) - expect).abs() < 1e-6 * expect.max(1.0));
             }
         }
@@ -108,6 +108,7 @@ proptest! {
         for _ in 0..32 {
             let c = link.sample_cost(&mut rng);
             prop_assert!(c >= 0.0);
+            // dts-lint: allow(float-eq, "exact sentinel: a zero-mean link is constructed from the literal 0.0 and must sample exactly 0.0")
             if mean == 0.0 {
                 prop_assert_eq!(c, 0.0);
             }

@@ -240,8 +240,7 @@ mod tests {
         // Classic property: with a few huge tasks and many small ones,
         // max-min fills the gaps with small tasks while min-min strands the
         // huge ones at the end. Compare estimated makespans.
-        let sizes: Vec<f64> = std::iter::repeat(10.0)
-            .take(30)
+        let sizes: Vec<f64> = std::iter::repeat_n(10.0, 30)
             .chain([500.0, 500.0])
             .collect();
         let makespan = |queued: &dyn Fn(&mut dyn Scheduler)| {

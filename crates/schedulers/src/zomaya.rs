@@ -485,9 +485,11 @@ mod tests {
     }
 
     fn quick() -> ZoConfig {
-        let mut c = ZoConfig::default();
+        let mut c = ZoConfig {
+            batch_size: 16,
+            ..ZoConfig::default()
+        };
         c.ga.max_generations = 60;
-        c.batch_size = 16;
         c
     }
 

@@ -34,8 +34,10 @@ fn make_tasks(sizes: &[f64]) -> Vec<Task> {
 }
 
 fn schedulers(m: usize) -> Vec<Box<dyn Scheduler>> {
-    let mut zo = ZoConfig::default();
-    zo.batch_size = 16;
+    let mut zo = ZoConfig {
+        batch_size: 16,
+        ..ZoConfig::default()
+    };
     zo.ga.max_generations = 8;
     vec![
         Box::new(EarliestFinish::new(m)),

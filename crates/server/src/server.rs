@@ -70,6 +70,15 @@ pub enum SubmitError {
         /// What was wrong.
         reason: String,
     },
+    /// The server's dense `u32` task-id space is exhausted: after 2³²
+    /// submissions the server must be recycled. Diagnosable rather than
+    /// a panic so an ingress layer can rotate servers gracefully.
+    IdSpaceExhausted,
+    /// The service thread is gone (already shut down, or dead), so the
+    /// submission could not be delivered or answered. Only produced by
+    /// the channel front-end ([`crate::service::ServiceHandle`]); the
+    /// in-process [`DtsServer`] never returns it.
+    ServiceUnavailable,
 }
 
 impl fmt::Display for SubmitError {
@@ -86,6 +95,18 @@ impl fmt::Display for SubmitError {
             SubmitError::InvalidTask { reason } => write!(f, "invalid task: {reason}"),
             SubmitError::InvalidDependency { reason } => {
                 write!(f, "invalid dependency: {reason}")
+            }
+            SubmitError::IdSpaceExhausted => {
+                write!(
+                    f,
+                    "task id space exhausted (2^32 submissions); recycle the server"
+                )
+            }
+            SubmitError::ServiceUnavailable => {
+                write!(
+                    f,
+                    "scheduler service is unavailable (service thread stopped)"
+                )
             }
         }
     }
@@ -161,7 +182,7 @@ impl ServerConfig {
         if self
             .procs
             .iter()
-            .any(|p| !(p.rate > 0.0) || !p.rate.is_finite())
+            .any(|p| p.rate <= 0.0 || !p.rate.is_finite())
         {
             return Err("processor rates must be positive and finite".into());
         }
@@ -243,10 +264,14 @@ pub struct DtsServer {
     /// mirroring [`dts_core::PnScheduler`] so the oracle equivalence
     /// holds for sharded configurations too.
     carried: Option<Vec<Vec<Chromosome>>>,
-    /// Ids committed by completed plan calls — the set dependency
-    /// eligibility is checked against, so a dependent task is only
-    /// batched strictly after the batch that placed its predecessors.
-    placed_ids: std::collections::HashSet<u32>,
+    /// `placed[id]` is true once `id` was committed by a completed plan
+    /// call — the set dependency eligibility is checked against, so a
+    /// dependent task is only batched strictly after the batch that
+    /// placed its predecessors. Server-assigned ids are dense (0, 1, …),
+    /// so this is a plain bitmap rather than a hash set: O(1) lookups
+    /// with no nondeterministic iteration order to leak, one slot pushed
+    /// per admitted submission.
+    placed: Vec<bool>,
     stats: ServerStats,
 }
 
@@ -257,6 +282,7 @@ impl DtsServer {
     ///
     /// Panics on an invalid [`ServerConfig`].
     pub fn new(config: ServerConfig) -> Self {
+        // dts-lint: allow(hot-unwrap, "construction-time config validation with a documented panic contract — not a submit/plan/replay path")
         config.validate().expect("invalid ServerConfig");
         let rng = Prng::seed_from(config.pn.seed);
         let n = config.procs.len();
@@ -269,7 +295,7 @@ impl DtsServer {
             queues: TaskQueues::new(n),
             rng,
             carried: None,
-            placed_ids: std::collections::HashSet::new(),
+            placed: Vec::new(),
             stats: ServerStats::default(),
         }
     }
@@ -383,11 +409,16 @@ impl DtsServer {
             });
         }
 
-        let id = TaskId(self.next_id);
-        self.next_id = self
+        // Reserve the id before any state mutation so an exhausted id
+        // space rejects the submission cleanly instead of panicking
+        // mid-update.
+        let next = self
             .next_id
             .checked_add(1)
-            .expect("task id space exhausted");
+            .ok_or(SubmitError::IdSpaceExhausted)?;
+        let id = TaskId(self.next_id);
+        self.next_id = next;
+        self.placed.push(false);
         self.pending.push_back(Pending {
             tenant,
             task: Task::new(id, mflops, SimTime::new(arrival_s)),
@@ -445,8 +476,7 @@ impl DtsServer {
         let mut drained: Vec<Pending> = Vec::with_capacity(cap.min(self.pending.len()));
         let mut kept: VecDeque<Pending> = VecDeque::new();
         for p in self.pending.drain(..) {
-            let eligible =
-                drained.len() < cap && p.deps.iter().all(|d| self.placed_ids.contains(d));
+            let eligible = drained.len() < cap && p.deps.iter().all(|&d| self.placed[d as usize]);
             if eligible {
                 drained.push(p);
             } else {
@@ -512,7 +542,7 @@ impl DtsServer {
             }
         }
         for p in &drained {
-            self.placed_ids.insert(p.task.id.0);
+            self.placed[p.task.id.0 as usize] = true;
         }
         self.stats.batches += 1;
         self.stats.placed += h as u64;
@@ -569,6 +599,19 @@ mod tests {
             batch_size: 6,
             budget: PlanBudget::Unlimited,
         }
+    }
+
+    #[test]
+    fn id_space_exhaustion_is_diagnosable_not_a_panic() {
+        let mut s = DtsServer::new(small_config());
+        s.next_id = u32::MAX;
+        assert!(matches!(
+            s.submit(TenantId(0), 100.0, 0.0),
+            Err(SubmitError::IdSpaceExhausted)
+        ));
+        // The rejected submission left no partial state behind.
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.stats().submitted, 0);
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! force-plans the final partial batch (end of stream), and
 //! [`ServiceHandle::shutdown`] drains and stops the thread.
 
-use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,18 +63,33 @@ enum Request {
 /// Client handle to a spawned scheduler service. Cloneable: every clone
 /// talks to the same server thread.
 ///
-/// All methods block until the service thread replies, and panic if the
-/// thread is gone (it only exits via [`ServiceHandle::shutdown`], so a
-/// dead thread is a bug, not an operational state).
+/// All methods block until the service thread replies. The submission
+/// path is fully diagnosable: a dead service thread (e.g. another clone
+/// already called [`ServiceHandle::shutdown`]) surfaces as
+/// [`SubmitError::ServiceUnavailable`], never a panic. The control-plane
+/// calls ([`ServiceHandle::poll`] / [`ServiceHandle::drain`] /
+/// [`ServiceHandle::stats`]) still panic in that state — losing the
+/// thread mid-operation is a bug, not an operational condition, and
+/// there is no placement to hand back.
 #[derive(Clone)]
 pub struct ServiceHandle {
     tx: Sender<Request>,
 }
 
 impl ServiceHandle {
+    /// Sends a request and awaits the reply; `Err` means the service
+    /// thread is gone (channel closed on either side).
+    fn try_call<T>(&self, req: Request, rx: Receiver<T>) -> Result<T, SubmitError> {
+        self.tx
+            .send(req)
+            .map_err(|_| SubmitError::ServiceUnavailable)?;
+        rx.recv().map_err(|_| SubmitError::ServiceUnavailable)
+    }
+
     fn call<T>(&self, req: Request, rx: Receiver<T>) -> T {
-        self.tx.send(req).expect("scheduler service thread is gone");
-        rx.recv().expect("scheduler service thread is gone")
+        self.try_call(req, rx)
+            // dts-lint: allow(hot-unwrap, "control-plane calls only (poll/drain/stats/shutdown): the thread exits solely via shutdown, so a dead thread here is a programming bug with a documented panic contract; submissions take the diagnosable try_call path")
+            .expect("scheduler service thread is gone")
     }
 
     /// Submits one task; see [`DtsServer::submit`] for the admission
@@ -96,6 +110,8 @@ impl ServiceHandle {
     /// [`DtsServer::submit_with_deps`] for the admission and batching
     /// rules. The placement of a dependent task is only emitted by a
     /// plan call strictly after the one that placed its predecessors.
+    /// Returns [`SubmitError::ServiceUnavailable`] when the service
+    /// thread is gone instead of panicking.
     pub fn submit_with_deps(
         &self,
         tenant: TenantId,
@@ -104,7 +120,7 @@ impl ServiceHandle {
         deps: &[TaskId],
     ) -> Result<TaskId, SubmitError> {
         let (reply, rx) = channel();
-        self.call(
+        self.try_call(
             Request::Submit {
                 tenant,
                 mflops,
@@ -113,7 +129,7 @@ impl ServiceHandle {
                 reply,
             },
             rx,
-        )
+        )?
     }
 
     /// Takes the placements emitted since the last take (does not force
@@ -152,23 +168,27 @@ pub fn spawn(config: ServerConfig) -> (ServiceHandle, JoinHandle<()>) {
     let join = std::thread::Builder::new()
         .name("dts-server".into())
         .spawn(move || service_loop(DtsServer::new(config), rx))
+        // dts-lint: allow(hot-unwrap, "one-time thread spawn at service startup; OS thread exhaustion at boot has no caller to report to — not a request path")
         .expect("spawn scheduler service thread");
     (ServiceHandle { tx }, join)
 }
 
 fn service_loop(mut server: DtsServer, rx: Receiver<Request>) {
-    // Admission timestamps of tasks not yet placed, and placements not
-    // yet taken by a Poll/Drain.
-    let mut admitted_at: HashMap<TaskId, Instant> = HashMap::new();
+    // Admission timestamps of tasks not yet placed (slot-indexed by the
+    // dense server-assigned task id — no hash table, nothing iterated),
+    // and placements not yet taken by a Poll/Drain.
+    let mut admitted_at: Vec<Option<Instant>> = Vec::new();
     let mut outbox: Vec<TimedPlacement> = Vec::new();
 
     let stamp = |events: Vec<PlacementEvent>,
-                 admitted_at: &mut HashMap<TaskId, Instant>,
+                 admitted_at: &mut Vec<Option<Instant>>,
                  outbox: &mut Vec<TimedPlacement>| {
+        // dts-lint: allow(wall-clock, "the service layer is the single documented wall-clock boundary: decision-latency stamping only; the deterministic core below never reads a clock")
         let now = Instant::now();
         for event in events {
             let decision_latency = admitted_at
-                .remove(&event.task.id)
+                .get_mut(event.task.id.0 as usize)
+                .and_then(Option::take)
                 .map(|t0| now.duration_since(t0))
                 .unwrap_or_default();
             outbox.push(TimedPlacement {
@@ -189,7 +209,12 @@ fn service_loop(mut server: DtsServer, rx: Receiver<Request>) {
             } => {
                 let result = server.submit_with_deps(tenant, mflops, arrival_s, &deps);
                 if let Ok(id) = result {
-                    admitted_at.insert(id, Instant::now());
+                    let slot = id.0 as usize;
+                    if admitted_at.len() <= slot {
+                        admitted_at.resize(slot + 1, None);
+                    }
+                    // dts-lint: allow(wall-clock, "admission timestamp for decision-latency reporting; never feeds the planning core")
+                    admitted_at[slot] = Some(Instant::now());
                 }
                 // The submitter learns the admission verdict immediately;
                 // planning happens after the reply so admission latency
@@ -353,6 +378,22 @@ mod tests {
         assert!(batch_of(4) > batch_of(0), "dependent placed strictly later");
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_diagnosable() {
+        let (handle, join) = spawn(quick_config());
+        let clone = handle.clone();
+        handle.submit(TenantId(0), 100.0, 0.0).unwrap();
+        handle.shutdown();
+        join.join().unwrap();
+        // The surviving clone's submissions report ServiceUnavailable
+        // instead of panicking: a dead thread is diagnosable on the
+        // submit path.
+        assert!(matches!(
+            clone.submit(TenantId(0), 100.0, 1.0),
+            Err(SubmitError::ServiceUnavailable)
+        ));
     }
 
     #[test]

@@ -1017,8 +1017,10 @@ mod tests {
         let cluster = free_comm_cluster(1, 100.0);
         let tasks = const_tasks(10, 100.0);
         let sched = Box::new(RoundRobin::new(1));
-        let mut cfg = SimConfig::default();
-        cfg.max_events = 3;
+        let cfg = SimConfig {
+            max_events: 3,
+            ..SimConfig::default()
+        };
         let err = Simulation::new(cluster, tasks, sched, cfg)
             .run()
             .unwrap_err();
@@ -1030,8 +1032,10 @@ mod tests {
         let cluster = free_comm_cluster(1, 1.0); // very slow: 100 s per task
         let tasks = const_tasks(10, 100.0);
         let sched = Box::new(RoundRobin::new(1));
-        let mut cfg = SimConfig::default();
-        cfg.max_seconds = 50.0;
+        let cfg = SimConfig {
+            max_seconds: 50.0,
+            ..SimConfig::default()
+        };
         let err = Simulation::new(cluster, tasks, sched, cfg)
             .run()
             .unwrap_err();
@@ -1060,9 +1064,10 @@ mod dag_tests {
     }
 
     fn traced_config() -> SimConfig {
-        let mut cfg = SimConfig::default();
-        cfg.record_trace = true;
-        cfg
+        SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        }
     }
 
     /// The tentpole safety property: across every DAG family, no task's
@@ -1291,8 +1296,10 @@ mod trace_tests {
         let cluster = Cluster::homogeneous(3, 100.0);
         let tasks =
             WorkloadSpec::batch(12, SizeDistribution::Constant { value: 200.0 }).generate(1);
-        let mut cfg = SimConfig::default();
-        cfg.record_trace = true;
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
         let r = Simulation::new(cluster, tasks, Box::new(EarliestFinish::new(3)), cfg)
             .run()
             .unwrap();

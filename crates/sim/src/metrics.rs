@@ -137,6 +137,10 @@ pub struct SimReport {
 impl SimReport {
     /// Aggregates the final report from raw accounting. `rated_mflops[j]`
     /// is processor `j`'s Linpack rating, used as the efficiency weight.
+    // One flat argument per accounting stream: the callers (the two
+    // simulator drain paths) pass locals straight through, and a param
+    // struct would just duplicate the field list.
+    #[allow(clippy::too_many_arguments)]
     pub fn assemble(
         scheduler: &'static str,
         end: SimTime,

@@ -62,8 +62,10 @@ fn main() {
     let run = |name: &str, sched: Box<dyn Scheduler>| {
         let cluster = cluster_spec.build(seed);
         let tasks = workload.generate(seed);
-        let mut cfg = SimConfig::default();
-        cfg.record_trace = true;
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
         let report = Simulation::new(cluster, tasks, sched, cfg)
             .run()
             .expect("simulation completes");
@@ -86,9 +88,11 @@ fn main() {
     println!(
         "{procs} processors with random-walk availability (α ∈ [0.25, 1.0], step every 20 s):"
     );
-    let mut cfg = PnConfig::default();
-    cfg.initial_batch = 100;
-    cfg.max_batch = 100;
+    let cfg = PnConfig {
+        initial_batch: 100,
+        max_batch: 100,
+        ..PnConfig::default()
+    };
     let pn = run("PN", Box::new(PnScheduler::new(procs, cfg)));
     let rr = run("RR", Box::new(RoundRobin::new(procs)));
 

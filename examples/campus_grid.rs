@@ -80,9 +80,11 @@ fn main() {
     println!("campus grid: {procs} PCs, day/night availability, 5000 bursty jobs\n");
 
     let pn = {
-        let mut cfg = PnConfig::default();
-        cfg.initial_batch = 500;
-        cfg.max_batch = 1000;
+        let cfg = PnConfig {
+            initial_batch: 500,
+            max_batch: 1000,
+            ..PnConfig::default()
+        };
         run("PN", Box::new(PnScheduler::new(procs, cfg)))
     };
     let ef = run("EF", Box::new(EarliestFinish::new(procs)));

@@ -14,6 +14,9 @@ use dts::schedulers::{
 };
 use dts::sim::{SimConfig, Simulation};
 
+/// A named scheduler factory; each comparison run builds a fresh instance.
+type SchedulerFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+
 fn main() {
     let procs = 12;
     let tasks = 300;
@@ -37,7 +40,7 @@ fn main() {
     );
 
     let seed = 0x2005_0404;
-    let build: Vec<(&str, Box<dyn Fn() -> Box<dyn Scheduler>>)> = vec![
+    let build: Vec<(&str, SchedulerFactory)> = vec![
         ("EF", Box::new(move || Box::new(EarliestFinish::new(procs)))),
         ("LL", Box::new(move || Box::new(LightestLoaded::new(procs)))),
         ("RR", Box::new(move || Box::new(RoundRobin::new(procs)))),
@@ -52,17 +55,21 @@ fn main() {
         (
             "ZO",
             Box::new(move || {
-                let mut cfg = ZoConfig::default();
-                cfg.batch_size = 100;
+                let cfg = ZoConfig {
+                    batch_size: 100,
+                    ..ZoConfig::default()
+                };
                 Box::new(Zomaya::new(procs, cfg))
             }),
         ),
         (
             "PN",
             Box::new(move || {
-                let mut cfg = PnConfig::default();
-                cfg.initial_batch = 100;
-                cfg.max_batch = 100;
+                let cfg = PnConfig {
+                    initial_batch: 100,
+                    max_batch: 100,
+                    ..PnConfig::default()
+                };
                 Box::new(PnScheduler::new(procs, cfg))
             }),
         ),

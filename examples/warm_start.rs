@@ -32,14 +32,16 @@ fn run(strategy: SeedStrategy) -> SimReport {
         },
     };
 
-    let mut cfg = PnConfig::default();
-    cfg.initial_batch = 25;
-    cfg.max_batch = 25;
+    let mut cfg = PnConfig {
+        initial_batch: 25,
+        max_batch: 25,
+        seed_strategy: strategy,
+        ..PnConfig::default()
+    };
     cfg.ga.max_generations = 300;
     // Stop a batch's GA after 30 generations without improvement — this
     // is what turns faster re-convergence into fewer generations.
     cfg.ga.plateau_generations = Some(30);
-    cfg.seed_strategy = strategy;
 
     Simulation::new(
         cluster,

@@ -36,9 +36,11 @@ fn scheduler(name: &str, evaluator: Evaluator) -> Box<dyn Scheduler> {
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 8;
-            cfg.max_batch = 8;
+            let mut cfg = PnConfig {
+                initial_batch: 8,
+                max_batch: 8,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             Box::new(PnScheduler::new(PROCS, cfg))
@@ -57,9 +59,11 @@ fn run_once_seeded(name: &str, evaluator: Evaluator, seed: u64) -> SimReport {
         },
     );
     let tasks = workload.generate(seed);
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = seed ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: seed ^ 0xFACE,
+        ..SimConfig::default()
+    };
     Simulation::new(cluster, tasks, scheduler(name, evaluator), config)
         .run()
         .unwrap_or_else(|e| panic!("{name} run failed: {e:?}"))
@@ -176,9 +180,11 @@ fn run_once_memo(name: &str, evaluator: Evaluator, memo_capacity: usize) -> SimR
         },
     );
     let tasks = workload.generate(SEED);
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = SEED ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: SEED ^ 0xFACE,
+        ..SimConfig::default()
+    };
     let sched: Box<dyn Scheduler> = match name {
         "ZO" => {
             let mut cfg = ZoConfig::default();
@@ -188,9 +194,11 @@ fn run_once_memo(name: &str, evaluator: Evaluator, memo_capacity: usize) -> SimR
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 8;
-            cfg.max_batch = 8;
+            let mut cfg = PnConfig {
+                initial_batch: 8,
+                max_batch: 8,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             cfg.ga.memo_capacity = memo_capacity;
@@ -247,9 +255,11 @@ fn run_once_islands(
         },
     );
     let tasks = workload.generate(SEED);
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = SEED ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: SEED ^ 0xFACE,
+        ..SimConfig::default()
+    };
     let sched: Box<dyn Scheduler> = match name {
         "ZO" => {
             let mut cfg = ZoConfig::default();
@@ -260,9 +270,11 @@ fn run_once_islands(
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 8;
-            cfg.max_batch = 8;
+            let mut cfg = PnConfig {
+                initial_batch: 8,
+                max_batch: 8,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             cfg.ga.memo_capacity = memo_capacity;
@@ -316,12 +328,16 @@ fn island_seed_changes_the_migration_outcome() {
             },
         );
         let tasks = workload.generate(seed);
-        let mut config = SimConfig::default();
-        config.record_trace = true;
-        config.seed = seed ^ 0xFACE;
-        let mut cfg = PnConfig::default();
-        cfg.initial_batch = 8;
-        cfg.max_batch = 8;
+        let config = SimConfig {
+            record_trace: true,
+            seed: seed ^ 0xFACE,
+            ..SimConfig::default()
+        };
+        let mut cfg = PnConfig {
+            initial_batch: 8,
+            max_batch: 8,
+            ..PnConfig::default()
+        };
         cfg.ga.max_generations = 25;
         cfg.islands = island_cfg.clone();
         Simulation::new(
@@ -352,17 +368,21 @@ fn island_seed_changes_the_migration_outcome() {
 fn warm_scheduler(name: &str, evaluator: Evaluator, strategy: SeedStrategy) -> Box<dyn Scheduler> {
     match name {
         "ZO" => {
-            let mut cfg = ZoConfig::default();
-            cfg.batch_size = 8;
+            let mut cfg = ZoConfig {
+                batch_size: 8,
+                ..ZoConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             cfg.seed_strategy = strategy;
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 8;
-            cfg.max_batch = 8;
+            let mut cfg = PnConfig {
+                initial_batch: 8,
+                max_batch: 8,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             cfg.seed_strategy = strategy;
@@ -382,9 +402,11 @@ fn run_once_strategy(name: &str, evaluator: Evaluator, strategy: SeedStrategy) -
         },
     );
     let tasks = workload.generate(SEED);
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = SEED ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: SEED ^ 0xFACE,
+        ..SimConfig::default()
+    };
     Simulation::new(
         cluster,
         tasks,
@@ -455,9 +477,11 @@ fn run_once_dag(name: &str, evaluator: Evaluator, islands: usize) -> SimReport {
         },
         SEED,
     );
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = SEED ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: SEED ^ 0xFACE,
+        ..SimConfig::default()
+    };
     let sched: Box<dyn Scheduler> = match name {
         "ZO" => {
             let mut cfg = ZoConfig::default();
@@ -467,9 +491,11 @@ fn run_once_dag(name: &str, evaluator: Evaluator, islands: usize) -> SimReport {
             Box::new(Zomaya::new(PROCS, cfg))
         }
         "PN" => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 8;
-            cfg.max_batch = 8;
+            let mut cfg = PnConfig {
+                initial_batch: 8,
+                max_batch: 8,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 25;
             cfg.ga.evaluator = evaluator;
             cfg.islands = island_cfg;
@@ -521,9 +547,11 @@ fn empty_dag_is_bit_identical_to_independent_path() {
             },
         )
         .generate(SEED);
-        let mut config = SimConfig::default();
-        config.record_trace = true;
-        config.seed = SEED ^ 0xFACE;
+        let config = SimConfig {
+            record_trace: true,
+            seed: SEED ^ 0xFACE,
+            ..SimConfig::default()
+        };
         let sched = scheduler("PN", Evaluator::ThreadPool { workers: 4 });
         if with_graph {
             let graph = dts::model::TaskGraph::independent(tasks.len());
@@ -582,9 +610,11 @@ fn seed_changes_outcome() {
         },
     );
     let tasks = workload.generate(SEED + 1);
-    let mut config = SimConfig::default();
-    config.record_trace = true;
-    config.seed = (SEED + 1) ^ 0xFACE;
+    let config = SimConfig {
+        record_trace: true,
+        seed: (SEED + 1) ^ 0xFACE,
+        ..SimConfig::default()
+    };
     let other = Simulation::new(cluster, tasks, scheduler("PN", Evaluator::Serial), config)
         .run()
         .expect("shifted-seed run completes");

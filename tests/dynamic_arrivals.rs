@@ -90,11 +90,13 @@ fn makespan_tracks_arrival_horizon_when_arrivals_dominate() {
 #[test]
 fn pn_warm_start_streams_deterministically() {
     let run = |strategy: SeedStrategy| {
-        let mut cfg = PnConfig::default();
+        let mut cfg = PnConfig {
+            initial_batch: 10,
+            max_batch: 10,
+            seed_strategy: strategy,
+            ..PnConfig::default()
+        };
         cfg.ga.max_generations = 40;
-        cfg.initial_batch = 10;
-        cfg.max_batch = 10;
-        cfg.seed_strategy = strategy;
         run_stream(Box::new(PnScheduler::new(6, cfg)), 2.0, 90, 53)
     };
     let warm = SeedStrategy::CarryOver { elites: 5 };
@@ -118,10 +120,12 @@ fn pn_warm_start_streams_deterministically() {
 #[test]
 fn zo_warm_start_streams_deterministically() {
     let run = || {
-        let mut cfg = ZoConfig::default();
+        let mut cfg = ZoConfig {
+            batch_size: 10,
+            seed_strategy: SeedStrategy::CarryOver { elites: 5 },
+            ..ZoConfig::default()
+        };
         cfg.ga.max_generations = 40;
-        cfg.batch_size = 10;
-        cfg.seed_strategy = SeedStrategy::CarryOver { elites: 5 };
         run_stream(Box::new(Zomaya::new(6, cfg)), 2.0, 90, 59)
     };
     let a = run();
@@ -171,9 +175,11 @@ fn pn_stream_beats_round_robin_under_comm_pressure() {
         },
         arrival: ArrivalProcess::UniformOver { window: 100.0 },
     };
-    let mut cfg = PnConfig::default();
-    cfg.initial_batch = 50;
-    cfg.max_batch = 50;
+    let mut cfg = PnConfig {
+        initial_batch: 50,
+        max_batch: 50,
+        ..PnConfig::default()
+    };
     cfg.ga.max_generations = 150;
     let pn = Simulation::new(
         build_cluster(43),

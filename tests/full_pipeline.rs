@@ -13,15 +13,19 @@ const TASKS: usize = 120;
 
 fn all_schedulers() -> Vec<Box<dyn Scheduler>> {
     let quick_zo = || {
-        let mut cfg = ZoConfig::default();
-        cfg.batch_size = 40;
+        let mut cfg = ZoConfig {
+            batch_size: 40,
+            ..ZoConfig::default()
+        };
         cfg.ga.max_generations = 80;
         cfg
     };
     let quick_pn = || {
-        let mut cfg = PnConfig::default();
-        cfg.initial_batch = 40;
-        cfg.max_batch = 40;
+        let mut cfg = PnConfig {
+            initial_batch: 40,
+            max_batch: 40,
+            ..PnConfig::default()
+        };
         cfg.ga.max_generations = 80;
         cfg
     };
@@ -161,8 +165,10 @@ fn ga_schedulers_charge_host_time_heuristics_do_not() {
 #[test]
 fn reports_are_deterministic_for_fixed_seed() {
     let once = |seed| {
-        let mut cfg = PnConfig::default();
-        cfg.initial_batch = 40;
+        let mut cfg = PnConfig {
+            initial_batch: 40,
+            ..PnConfig::default()
+        };
         cfg.ga.max_generations = 60;
         let (report, _, _) = run(
             Box::new(PnScheduler::new(PROCS, cfg)),

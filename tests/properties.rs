@@ -54,9 +54,11 @@ fn scheduler_for(idx: usize, procs: usize) -> Box<dyn Scheduler> {
         3 => Box::new(MinMin::with_batch_size(procs, 16)),
         4 => Box::new(MaxMin::with_batch_size(procs, 16)),
         _ => {
-            let mut cfg = PnConfig::default();
-            cfg.initial_batch = 16;
-            cfg.max_batch = 16;
+            let mut cfg = PnConfig {
+                initial_batch: 16,
+                max_batch: 16,
+                ..PnConfig::default()
+            };
             cfg.ga.max_generations = 15;
             Box::new(PnScheduler::new(procs, cfg))
         }

@@ -58,7 +58,7 @@ fn reexport_surface_resolves() {
 
     // dts::sim
     let _ = SimConfig::default();
-    drop(spec);
+    let _ = spec;
 }
 
 /// A 10-task / 2-processor end-to-end run completes through the facade.
@@ -74,9 +74,11 @@ fn end_to_end_10_tasks_2_processors() {
     );
     let tasks = workload.generate(42);
 
-    let mut cfg = PnConfig::default();
-    cfg.initial_batch = 5;
-    cfg.max_batch = 5;
+    let mut cfg = PnConfig {
+        initial_batch: 5,
+        max_batch: 5,
+        ..PnConfig::default()
+    };
     cfg.ga.max_generations = 20;
 
     let report: SimReport = Simulation::new(
